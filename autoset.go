@@ -1,0 +1,74 @@
+package phasehash
+
+import (
+	"phasehash/internal/rooms"
+)
+
+// AutoSet wraps a deterministic Set with room synchronization (Blelloch,
+// Cheng & Gibbons 2003), realizing the automatic phase separation the
+// paper's conclusion proposes as future work: goroutines may call any
+// operation at any time; the rooms serialize *phases* dynamically while
+// still admitting full concurrency within each phase. Three rooms —
+// insert, delete, read — rotate fairly, so no operation class starves.
+//
+// Safety is unconditional (operations of different types never overlap).
+// Determinism, however, is weaker than Set's: the grouping of operations
+// into phases now depends on arrival timing, so programs mixing
+// non-commuting operations (inserts with deletes of the same keys) get
+// timing-dependent results — the same caveat the paper attaches to any
+// scheme that infers phases dynamically. Programs that only mix
+// commuting operations (or that drain one class before issuing another)
+// keep the full guarantee.
+type AutoSet struct {
+	s *Set
+	r *rooms.Rooms
+}
+
+// Room ids for AutoSet's three operation classes.
+const (
+	roomInsert = iota
+	roomDelete
+	roomRead
+	numRooms
+)
+
+// NewAutoSet returns an AutoSet with the given capacity.
+func NewAutoSet(capacity int) *AutoSet {
+	return &AutoSet{s: NewSet(capacity), r: rooms.New(numRooms)}
+}
+
+// Insert adds k; callable concurrently with any other AutoSet operation.
+func (a *AutoSet) Insert(k uint64) bool {
+	a.r.Enter(roomInsert)
+	defer a.r.Exit(roomInsert)
+	return a.s.Insert(k)
+}
+
+// Delete removes k; callable concurrently with any other operation.
+func (a *AutoSet) Delete(k uint64) bool {
+	a.r.Enter(roomDelete)
+	defer a.r.Exit(roomDelete)
+	return a.s.Delete(k)
+}
+
+// Contains reports membership; callable concurrently with any other
+// operation.
+func (a *AutoSet) Contains(k uint64) bool {
+	a.r.Enter(roomRead)
+	defer a.r.Exit(roomRead)
+	return a.s.Contains(k)
+}
+
+// Elements returns the contents; deterministic for a fixed key set.
+func (a *AutoSet) Elements() []uint64 {
+	a.r.Enter(roomRead)
+	defer a.r.Exit(roomRead)
+	return a.s.Elements()
+}
+
+// Count returns the key count.
+func (a *AutoSet) Count() int {
+	a.r.Enter(roomRead)
+	defer a.r.Exit(roomRead)
+	return a.s.Count()
+}

@@ -1,0 +1,328 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 6). Each BenchmarkTableN/BenchmarkFigureN family
+// maps to one table or figure; the cmd/ drivers print the same data in
+// the paper's layout. Sizes are scaled for CI-class machines and can be
+// raised with -benchtime and the PHB_N environment variable.
+//
+//	go test -bench . -benchmem
+package phasehash
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"phasehash/internal/apps/dedup"
+	"phasehash/internal/bench"
+	"phasehash/internal/sequence"
+	"phasehash/internal/tables"
+)
+
+// benchN is the element count used by the operation benchmarks
+// (override with PHB_N; the paper uses 10^8).
+func benchN() int {
+	if s := os.Getenv("PHB_N"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 400_000
+}
+
+func benchSize(n int) int {
+	m := 1
+	for m < n*8/3 {
+		m <<= 1
+	}
+	return m
+}
+
+// table1Dists is the distribution subset exercised per-op in the
+// benchmark suite (all six are available through cmd/phbench).
+var table1Dists = []sequence.Distribution{
+	sequence.RandomInt,
+	sequence.RandomPairInt,
+	sequence.TrigramPairInt,
+	sequence.ExptInt,
+}
+
+func benchTable1(b *testing.B, op bench.Op) {
+	n := benchN()
+	size := benchSize(n)
+	for _, d := range table1Dists {
+		for _, kind := range tables.Kinds {
+			b.Run(fmt.Sprintf("%s/%s", d, kind), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					t := bench.Table1Cell(kind, d, op, n, size)
+					b.ReportMetric(t.Seconds()*1e9/float64(n), "ns/elem")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable1a reproduces Table 1(a): Insert.
+func BenchmarkTable1a_Insert(b *testing.B) { benchTable1(b, bench.OpInsert) }
+
+// BenchmarkTable1b reproduces Table 1(b): Find Random.
+func BenchmarkTable1b_FindRandom(b *testing.B) { benchTable1(b, bench.OpFindRandom) }
+
+// BenchmarkTable1c reproduces Table 1(c): Find Inserted.
+func BenchmarkTable1c_FindInserted(b *testing.B) { benchTable1(b, bench.OpFindInserted) }
+
+// BenchmarkTable1d reproduces Table 1(d): Delete Random.
+func BenchmarkTable1d_DeleteRandom(b *testing.B) { benchTable1(b, bench.OpDeleteRandom) }
+
+// BenchmarkTable1e reproduces Table 1(e): Delete Inserted.
+func BenchmarkTable1e_DeleteInserted(b *testing.B) { benchTable1(b, bench.OpDeleteInserted) }
+
+// BenchmarkTable1f reproduces Table 1(f): Elements.
+func BenchmarkTable1f_Elements(b *testing.B) { benchTable1(b, bench.OpElements) }
+
+// BenchmarkTable1Strings measures linearHash-D on true string elements
+// (pointer table) for the trigramSeq-pairInt column — the paper's
+// actual representation for that input.
+func BenchmarkTable1Strings(b *testing.B) {
+	n := benchN()
+	size := benchSize(n)
+	for _, op := range []bench.Op{bench.OpInsert, bench.OpFindRandom, bench.OpDeleteRandom, bench.OpElements} {
+		b.Run(string(op), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := bench.Table1CellStrings(op, n, size)
+				b.ReportMetric(t.Seconds()*1e9/float64(n), "ns/elem")
+			}
+		})
+	}
+}
+
+// BenchmarkTable2 reproduces Table 2: random writes vs conditional
+// writes vs deterministic hash insertion, sequential and parallel.
+func BenchmarkTable2_Scatter(b *testing.B) {
+	n := benchN()
+	size := benchSize(n)
+	for _, row := range bench.Table2Rows {
+		for _, par := range []bool{false, true} {
+			mode := "serial"
+			if par {
+				mode = "parallel"
+			}
+			b.Run(fmt.Sprintf("%s/%s", row, mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					t := bench.Table2Cell(row, n, size, par)
+					b.ReportMetric(t.Seconds()*1e9/float64(n), "ns/op-elem")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure3 reproduces Figure 3's two panels: the parallel
+// operation times across table kinds on randomSeq-int (a) and
+// trigramSeq-pairInt (b).
+func BenchmarkFigure3(b *testing.B) {
+	n := benchN()
+	size := benchSize(n)
+	panels := map[string]sequence.Distribution{
+		"a_randomSeq-int":      sequence.RandomInt,
+		"b_trigramSeq-pairInt": sequence.TrigramPairInt,
+	}
+	for name, d := range panels {
+		for _, kind := range tables.ParallelKinds {
+			for _, op := range []bench.Op{bench.OpInsert, bench.OpFindRandom, bench.OpDeleteRandom, bench.OpElements} {
+				b.Run(fmt.Sprintf("%s/%s/%s", name, kind, op), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						bench.Table1Cell(kind, d, op, n, size)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4 reproduces Figure 4: linearHash-D speedup over
+// serialHash-HI as worker count varies.
+func BenchmarkFigure4_Scaling(b *testing.B) {
+	n := benchN()
+	size := benchSize(n)
+	threads := []int{1, 2}
+	if p := os.Getenv("PHB_THREADS"); p != "" {
+		if v, err := strconv.Atoi(p); err == nil {
+			threads = append(threads, v)
+		}
+	}
+	for _, d := range []sequence.Distribution{sequence.RandomInt, sequence.TrigramPairInt} {
+		for _, op := range []bench.Op{bench.OpInsert, bench.OpFindRandom, bench.OpDeleteRandom, bench.OpElements} {
+			for _, p := range threads {
+				b.Run(fmt.Sprintf("%s/%s/p=%d", d, op, p), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						par, ser := bench.Figure4Point(d, op, n, size, p)
+						b.ReportMetric(ser.Seconds()/par.Seconds(), "speedup")
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5 reproduces Figure 5: per-operation cost vs load
+// factor on linearHash-D.
+func BenchmarkFigure5_LoadFactor(b *testing.B) {
+	size := 1 << 20
+	n := 50_000
+	for _, load := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.95} {
+		for _, op := range []bench.Op{bench.OpInsert, bench.OpFindRandom, bench.OpDeleteInserted, bench.OpElements} {
+			b.Run(fmt.Sprintf("load=%.2f/%s", load, op), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					t := bench.Figure5Point(op, load, n, size)
+					b.ReportMetric(float64(t.Nanoseconds())/float64(n), "ns/elem")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable3 reproduces Table 3: remove duplicates.
+func BenchmarkTable3_RemoveDuplicates(b *testing.B) {
+	n := benchN()
+	for _, d := range []sequence.Distribution{sequence.RandomInt, sequence.TrigramPairInt, sequence.ExptInt} {
+		for _, kind := range bench.AppKinds {
+			b.Run(fmt.Sprintf("%s/%s", d, kind), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					bench.Table3(kind, d, n)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable4 reproduces Table 4: the hash-table portion of
+// Delaunay refinement on 2DinCube and 2Dkuzmin.
+func BenchmarkTable4_DelaunayRefinement(b *testing.B) {
+	inputs := bench.Table4Inputs(30_000)
+	for _, in := range inputs {
+		for _, kind := range bench.AppKinds {
+			b.Run(fmt.Sprintf("%s/%s", in.Name, kind), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					t := bench.Table4(kind, in.Pts, 1)
+					b.ReportMetric(t.Seconds(), "table-sec")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable5 reproduces Table 5: suffix-tree node insertion (a)
+// and string search (b).
+func BenchmarkTable5_SuffixTree(b *testing.B) {
+	inputs := bench.Table5Inputs(400_000, 50_000)
+	for _, in := range inputs {
+		for _, kind := range bench.AppKinds {
+			b.Run(fmt.Sprintf("%s/%s", in.Corpus, kind), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ins, srch := bench.Table5(kind, in)
+					b.ReportMetric(ins.Seconds(), "insert-sec")
+					b.ReportMetric(srch.Seconds(), "search-sec")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable6 reproduces Table 6: edge contraction.
+func BenchmarkTable6_EdgeContraction(b *testing.B) {
+	inputs := bench.GraphInputs(60_000)
+	for _, in := range inputs {
+		for _, kind := range bench.AppKinds {
+			b.Run(fmt.Sprintf("%s/%s", in.Name, kind), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					bench.Table6(kind, in)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable7 reproduces Table 7: breadth-first search.
+func BenchmarkTable7_BFS(b *testing.B) {
+	inputs := bench.GraphInputs(60_000)
+	for _, in := range inputs {
+		for _, v := range []bench.Table7Variant{bench.BFSSerial, bench.BFSArray} {
+			b.Run(fmt.Sprintf("%s/%s", in.Name, v), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					bench.Table7Baseline(v, in)
+				}
+			})
+		}
+		for _, kind := range bench.AppKinds {
+			b.Run(fmt.Sprintf("%s/%s", in.Name, kind), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					bench.Table7(kind, in)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable8 reproduces Table 8: spanning forest.
+func BenchmarkTable8_SpanningForest(b *testing.B) {
+	inputs := bench.GraphInputs(60_000)
+	for _, in := range inputs {
+		for _, v := range []bench.Table7Variant{bench.BFSSerial, bench.BFSArray} {
+			b.Run(fmt.Sprintf("%s/%s", in.Name, v), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					bench.Table8Baseline(v, in)
+				}
+			})
+		}
+		for _, kind := range bench.AppKinds {
+			b.Run(fmt.Sprintf("%s/%s", in.Name, kind), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					bench.Table8(kind, in)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblation quantifies design choices DESIGN.md calls out:
+// determinism overhead (D vs ND), hashing vs sorting for dedup, and the
+// hopscotch timestamp cost.
+func BenchmarkAblation(b *testing.B) {
+	n := benchN()
+	size := benchSize(n)
+	b.Run("determinism-overhead/insert-D", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bench.Table1Cell(tables.LinearD, sequence.RandomInt, bench.OpInsert, n, size)
+		}
+	})
+	b.Run("determinism-overhead/insert-ND", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bench.Table1Cell(tables.LinearND, sequence.RandomInt, bench.OpInsert, n, size)
+		}
+	})
+	b.Run("dedup/hashing", func(b *testing.B) {
+		elems := sequence.RandomKeys(n, 3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dedup.Run(tables.LinearD, elems, size)
+		}
+	})
+	b.Run("dedup/sorting", func(b *testing.B) {
+		elems := sequence.RandomKeys(n, 3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dedup.RunSorting(elems)
+		}
+	})
+	b.Run("hopscotch-timestamps/find-TS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bench.Table1Cell(tables.Hopscotch, sequence.RandomInt, bench.OpFindRandom, n, size)
+		}
+	})
+	b.Run("hopscotch-timestamps/find-PC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bench.Table1Cell(tables.HopscotchPC, sequence.RandomInt, bench.OpFindRandom, n, size)
+		}
+	})
+}

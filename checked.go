@@ -1,0 +1,59 @@
+package phasehash
+
+import "phasehash/internal/core"
+
+// CheckedSet wraps a Set with a runtime phase-discipline detector: any
+// operation that overlaps in time with an operation from a different
+// phase panics with a diagnostic. Use it in tests and development
+// builds; the raw Set carries no checking overhead.
+type CheckedSet struct {
+	s     *Set
+	guard core.PhaseGuard
+}
+
+// Checked wraps s with phase checking.
+func Checked(s *Set) *CheckedSet { return &CheckedSet{s: s} }
+
+func (c *CheckedSet) enter(p core.Phase) {
+	if err := c.guard.Enter(p); err != nil {
+		panic(err)
+	}
+}
+
+// Insert is Set.Insert with phase checking.
+func (c *CheckedSet) Insert(k uint64) bool {
+	c.enter(core.PhaseInsert)
+	defer c.guard.Exit(core.PhaseInsert)
+	return c.s.Insert(k)
+}
+
+// Delete is Set.Delete with phase checking.
+func (c *CheckedSet) Delete(k uint64) bool {
+	c.enter(core.PhaseDelete)
+	defer c.guard.Exit(core.PhaseDelete)
+	return c.s.Delete(k)
+}
+
+// Contains is Set.Contains with phase checking.
+func (c *CheckedSet) Contains(k uint64) bool {
+	c.enter(core.PhaseRead)
+	defer c.guard.Exit(core.PhaseRead)
+	return c.s.Contains(k)
+}
+
+// Elements is Set.Elements with phase checking.
+func (c *CheckedSet) Elements() []uint64 {
+	c.enter(core.PhaseRead)
+	defer c.guard.Exit(core.PhaseRead)
+	return c.s.Elements()
+}
+
+// Count is Set.Count with phase checking.
+func (c *CheckedSet) Count() int {
+	c.enter(core.PhaseRead)
+	defer c.guard.Exit(core.PhaseRead)
+	return c.s.Count()
+}
+
+// Unwrap returns the underlying Set.
+func (c *CheckedSet) Unwrap() *Set { return c.s }

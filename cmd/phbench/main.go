@@ -1,0 +1,173 @@
+// Command phbench regenerates the paper's Table 1 (hash-table operation
+// times across nine implementations and six distributions), Table 2
+// (insertion vs. raw scatter) and the data series behind Figure 3.
+//
+// Usage:
+//
+//	phbench [-n 1000000] [-size 4194304] [-op insert] [-dist all]
+//	        [-tables all] [-table2] [-figure3] [-reps 1]
+//
+// With no selection flags it prints all six Table 1 sub-tables. Times
+// are seconds, in the paper's layout: one row per implementation, (1)
+// and (P) columns per distribution, where P is GOMAXPROCS.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"phasehash/internal/bench"
+	"phasehash/internal/sequence"
+	"phasehash/internal/tables"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1_000_000, "operations per measurement (paper: 10^8)")
+		size    = flag.Int("size", 0, "table size in cells (default: next pow2 >= 8n/3, the paper's load ~1/3)")
+		opFlag  = flag.String("op", "all", "operation: insert|find-random|find-inserted|delete-random|delete-inserted|elements|all")
+		dist    = flag.String("dist", "all", "distribution name or 'all'")
+		kinds   = flag.String("tables", "all", "comma-separated table kinds or 'all'")
+		table2  = flag.Bool("table2", false, "run Table 2 (random writes vs insertion) instead")
+		figure3 = flag.Bool("figure3", false, "print Figure 3's two panels (parallel times, bar-chart series)")
+		reps    = flag.Int("reps", 1, "repetitions (minimum time reported)")
+	)
+	flag.Parse()
+	if *size == 0 {
+		*size = ceilPow2(*n * 8 / 3)
+	}
+	if *table2 {
+		runTable2(*n, *reps)
+		return
+	}
+	if *figure3 {
+		runFigure3(*n, *size, *reps)
+		return
+	}
+
+	ops := bench.Ops
+	if *opFlag != "all" {
+		ops = []bench.Op{bench.Op(*opFlag)}
+	}
+	dists := sequence.AllDistributions
+	if *dist != "all" {
+		dists = []sequence.Distribution{sequence.Distribution(*dist)}
+	}
+	kindList := parseKinds(*kinds)
+
+	fmt.Printf("# Table 1: times (seconds) for %d hash table operations; table size %d cells\n", *n, *size)
+	fmt.Printf("# machine: GOMAXPROCS=%d (paper: 40 cores / 80 hyperthreads)\n\n", runtime.GOMAXPROCS(0))
+	for _, op := range ops {
+		fmt.Printf("## %s\n", op)
+		header := []string{fmt.Sprintf("%-18s", "table")}
+		for _, d := range dists {
+			header = append(header, fmt.Sprintf("%22s", shortDist(d)))
+		}
+		fmt.Println(strings.Join(header, " "))
+		for _, kind := range kindList {
+			row := []string{fmt.Sprintf("%-18s", kind)}
+			for _, d := range dists {
+				t := minRep(*reps, func() time.Duration {
+					return bench.Table1Cell(kind, d, op, *n, *size)
+				})
+				if kind.IsSerial() {
+					row = append(row, fmt.Sprintf("%15s (1)   ", fmtSec(t)))
+				} else {
+					row = append(row, fmt.Sprintf("%15s (%dp)  ", fmtSec(t), runtime.GOMAXPROCS(0)))
+				}
+			}
+			fmt.Println(strings.Join(row, " "))
+		}
+		fmt.Println()
+	}
+}
+
+func runTable2(n, reps int) {
+	size := ceilPow2(3 * n) // the paper's load-1/3 configuration
+	fmt.Printf("# Table 2: times (seconds) for %d random writes (scatter); %d slots\n", n, size)
+	fmt.Printf("%-28s %12s %12s\n", "memory operation", "(1)", fmt.Sprintf("(%dp)", runtime.GOMAXPROCS(0)))
+	for _, row := range bench.Table2Rows {
+		ser := minRep(reps, func() time.Duration { return bench.Table2Cell(row, n, size, false) })
+		par := minRep(reps, func() time.Duration { return bench.Table2Cell(row, n, size, true) })
+		fmt.Printf("%-28s %12s %12s\n", row, fmtSec(ser), fmtSec(par))
+	}
+}
+
+func runFigure3(n, size, reps int) {
+	panels := []struct {
+		title string
+		dist  sequence.Distribution
+	}{
+		{"Figure 3(a): randomSeq-int", sequence.RandomInt},
+		{"Figure 3(b): trigramSeq-pairInt", sequence.TrigramPairInt},
+	}
+	ops := []bench.Op{bench.OpInsert, bench.OpFindRandom, bench.OpDeleteRandom, bench.OpElements}
+	for _, p := range panels {
+		fmt.Printf("# %s — parallel times (seconds), %d operations\n", p.title, n)
+		fmt.Printf("%-18s %10s %12s %14s %10s\n", "table", "Insert", "Find Random", "Delete Random", "Elements")
+		for _, kind := range tables.ParallelKinds {
+			fmt.Printf("%-18s", kind)
+			for _, op := range ops {
+				t := minRep(reps, func() time.Duration {
+					return bench.Table1Cell(kind, p.dist, op, n, size)
+				})
+				fmt.Printf(" %12s", fmtSec(t))
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func parseKinds(s string) []tables.Kind {
+	if s == "all" {
+		return tables.Kinds
+	}
+	var out []tables.Kind
+	for _, part := range strings.Split(s, ",") {
+		k := tables.Kind(strings.TrimSpace(part))
+		found := false
+		for _, known := range tables.Kinds {
+			if k == known {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "phbench: unknown table kind %q\n", k)
+			os.Exit(2)
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+func shortDist(d sequence.Distribution) string {
+	return strings.TrimPrefix(string(d), "randomSeq-")
+}
+
+func minRep(reps int, f func() time.Duration) time.Duration {
+	best := f()
+	for i := 1; i < reps; i++ {
+		if t := f(); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+func fmtSec(d time.Duration) string {
+	return fmt.Sprintf("%.4f", d.Seconds())
+}
+
+func ceilPow2(x int) int {
+	m := 1
+	for m < x {
+		m <<= 1
+	}
+	return m
+}

@@ -1,0 +1,129 @@
+// Command phgen generates the paper's input distributions as files in
+// PBBS text formats, for interchange with the original PBBS tools (or
+// for feeding real PBBS files back through -check).
+//
+// Usage:
+//
+//	phgen -kind randomSeq-int  -n 1000000 -o keys.txt
+//	phgen -kind exptSeq-int    -n 1000000 -o expt.txt
+//	phgen -kind 2DinCube       -n 1000000 -o points.txt
+//	phgen -kind 2Dkuzmin       -n 1000000 -o kuzmin.txt
+//	phgen -kind rMat           -n 100000  -o graph.txt
+//	phgen -kind 3D-grid        -n 100000  -o grid.txt
+//	phgen -kind random-graph   -n 100000  -o rand.txt
+//	phgen -check graph.txt               # parse + validate a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phasehash/internal/geom"
+	"phasehash/internal/graph"
+	"phasehash/internal/pbbsio"
+	"phasehash/internal/sequence"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "", "randomSeq-int|exptSeq-int|2DinCube|2Dkuzmin|rMat|3D-grid|random-graph")
+		n     = flag.Int("n", 1_000_000, "size (elements, points or vertices)")
+		seed  = flag.Uint64("seed", 42, "generator seed")
+		out   = flag.String("o", "", "output file (default stdout)")
+		check = flag.String("check", "", "parse and validate a PBBS file instead of generating")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "phgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var err error
+	switch *kind {
+	case "randomSeq-int":
+		err = pbbsio.WriteSequenceInt(w, sequence.RandomKeys(*n, *seed))
+	case "exptSeq-int":
+		err = pbbsio.WriteSequenceInt(w, sequence.ExptKeys(*n, *seed))
+	case "2DinCube":
+		err = pbbsio.WritePoints2d(w, geom.InCube(*n, *seed))
+	case "2Dkuzmin":
+		err = pbbsio.WritePoints2d(w, geom.Kuzmin(*n, *seed))
+	case "rMat", "3D-grid", "random-graph":
+		name := graph.Name(*kind)
+		if *kind == "random-graph" {
+			name = graph.RandomName
+		}
+		var g *graph.Graph
+		g, err = graph.Build(name, *n, *seed)
+		if err == nil {
+			err = pbbsio.WriteAdjacencyGraph(w, g)
+		}
+	default:
+		err = fmt.Errorf("unknown -kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phgen:", err)
+		os.Exit(1)
+	}
+}
+
+// checkFile sniffs the header and validates the file.
+func checkFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var header string
+	if _, err := fmt.Fscan(f, &header); err != nil {
+		return fmt.Errorf("reading header: %v", err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	switch header {
+	case "sequenceInt":
+		keys, err := pbbsio.ReadSequenceInt(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok: sequenceInt with %d keys\n", len(keys))
+	case "pbbs_sequencePoint2d":
+		pts, err := pbbsio.ReadPoints2d(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok: point2d with %d points\n", len(pts))
+	case "AdjacencyGraph":
+		g, err := pbbsio.ReadAdjacencyGraph(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok: graph with %d vertices, %d arcs\n", g.NumVertices(), g.NumEdges())
+	case "EdgeArray":
+		edges, err := pbbsio.ReadEdgeArray(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok: edge array with %d edges\n", len(edges))
+	default:
+		return fmt.Errorf("unknown header %q", header)
+	}
+	return nil
+}

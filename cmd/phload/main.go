@@ -1,0 +1,58 @@
+// Command phload regenerates Figure 5: nanoseconds per operation on
+// linearHash-D as a function of the table's load factor (the paper uses
+// a 2^27-cell table, pre-filled to each load before timing).
+//
+// Usage:
+//
+//	phload [-size 2097152] [-n 200000] [-loads 0.1,0.2,...] [-reps 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"phasehash/internal/bench"
+)
+
+func main() {
+	var (
+		size  = flag.Int("size", 1<<21, "table size in cells (paper: 2^27)")
+		n     = flag.Int("n", 200_000, "operations timed per point")
+		loads = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,0.95", "comma-separated load factors")
+		reps  = flag.Int("reps", 1, "repetitions (minimum reported)")
+	)
+	flag.Parse()
+
+	ops := []bench.Op{bench.OpInsert, bench.OpFindRandom, bench.OpDeleteInserted, bench.OpElements}
+	fmt.Printf("# Figure 5: ns per operation on linearHash-D, table size %d cells, %d ops per point\n", *size, *n)
+	fmt.Printf("%-8s", "load")
+	for _, op := range ops {
+		fmt.Printf(" %16s", op)
+	}
+	fmt.Println()
+	for _, part := range strings.Split(*loads, ",") {
+		load, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || load <= 0 || load >= 1 {
+			panic("phload: bad load factor " + part)
+		}
+		fmt.Printf("%-8.2f", load)
+		for _, op := range ops {
+			var best time.Duration
+			for r := 0; r < *reps; r++ {
+				t := bench.Figure5Point(op, load, *n, *size)
+				if r == 0 || t < best {
+					best = t
+				}
+			}
+			den := float64(*n)
+			if op == bench.OpElements {
+				den = float64(*size) // elements scans the whole table
+			}
+			fmt.Printf(" %16.1f", float64(best.Nanoseconds())/den)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,102 @@
+// Command phscale regenerates Figure 4: speedup of linearHash-D over
+// serialHash-HI as a function of the number of workers, for insert,
+// find-random, delete-random and elements, on randomSeq-int (panel a)
+// and trigramSeq-pairInt (panel b).
+//
+// Usage:
+//
+//	phscale [-n 1000000] [-size 4194304] [-threads 1,2,4] [-reps 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"phasehash/internal/bench"
+	"phasehash/internal/sequence"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1_000_000, "operations per measurement (paper: 10^8)")
+		size    = flag.Int("size", 0, "table size in cells (default next pow2 >= 8n/3)")
+		threads = flag.String("threads", "", "comma-separated worker counts (default 1..GOMAXPROCS)")
+		reps    = flag.Int("reps", 1, "repetitions (minimum reported)")
+	)
+	flag.Parse()
+	if *size == 0 {
+		*size = ceilPow2(*n * 8 / 3)
+	}
+	counts := parseThreads(*threads)
+
+	panels := []struct {
+		title string
+		dist  sequence.Distribution
+	}{
+		{"Figure 4(a): randomSeq-int", sequence.RandomInt},
+		{"Figure 4(b): trigramSeq-pairInt", sequence.TrigramPairInt},
+	}
+	ops := []bench.Op{bench.OpInsert, bench.OpFindRandom, bench.OpDeleteRandom, bench.OpElements}
+
+	for _, p := range panels {
+		fmt.Printf("# %s — speedup of linearHash-D over serialHash-HI, n=%d\n", p.title, *n)
+		fmt.Printf("%-8s", "threads")
+		for _, op := range ops {
+			fmt.Printf(" %14s", op)
+		}
+		fmt.Println()
+		for _, t := range counts {
+			fmt.Printf("%-8d", t)
+			for _, op := range ops {
+				var par, ser time.Duration
+				for r := 0; r < *reps; r++ {
+					p2, s2 := bench.Figure4Point(p.dist, op, *n, *size, t)
+					if r == 0 || p2 < par {
+						par = p2
+					}
+					if r == 0 || s2 < ser {
+						ser = s2
+					}
+				}
+				fmt.Printf(" %14.2f", ser.Seconds()/par.Seconds())
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func parseThreads(s string) []int {
+	if s == "" {
+		max := runtime.GOMAXPROCS(0)
+		var out []int
+		for t := 1; t <= max; t *= 2 {
+			out = append(out, t)
+		}
+		if out[len(out)-1] != max {
+			out = append(out, max)
+		}
+		return out
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			panic("phscale: bad -threads value " + part)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func ceilPow2(x int) int {
+	m := 1
+	for m < x {
+		m <<= 1
+	}
+	return m
+}

@@ -1,0 +1,89 @@
+package phasehash_test
+
+import (
+	"fmt"
+	"sync"
+
+	"phasehash"
+)
+
+// ExampleSet demonstrates the phase-concurrent discipline: one insert
+// phase from many goroutines, a barrier, then a deterministic read.
+func ExampleSet() {
+	s := phasehash.NewSet(1 << 10)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ { // insert phase
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := uint64(w + 1); k <= 100; k += 4 {
+				s.Insert(k)
+			}
+		}(w)
+	}
+	wg.Wait() // phase barrier
+
+	fmt.Println(s.Count(), s.Contains(42), s.Contains(101))
+	// Output: 100 true false
+}
+
+// ExampleMap32 shows duplicate-key combining: Sum adds the values of
+// concurrent inserts with the same key, deterministically.
+func ExampleMap32() {
+	m := phasehash.NewMap32(64, phasehash.Sum)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Insert(7, 5)
+		}()
+	}
+	wg.Wait()
+
+	v, ok := m.Find(7)
+	fmt.Println(v, ok)
+	// Output: 50 true
+}
+
+// ExampleStringMap counts words with string keys stored behind pointer
+// CAS (the paper's wide-record representation).
+func ExampleStringMap() {
+	m := phasehash.NewStringMap(64, phasehash.Sum)
+	for _, w := range []string{"to", "be", "or", "not", "to", "be"} {
+		m.Insert(w, 1)
+	}
+	v, _ := m.Find("to")
+	u, _ := m.Find("be")
+	fmt.Println(v, u, m.Count())
+	// Output: 2 2 4
+}
+
+// ExampleSet_elements shows that Elements returns an identical order on
+// every run for the same key set — the determinism the applications
+// build on.
+func ExampleSet_elements() {
+	build := func() []uint64 {
+		s := phasehash.NewSet(64)
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for k := uint64(w + 1); k <= 32; k += 8 {
+					s.Insert(k * 3)
+				}
+			}(w)
+		}
+		wg.Wait()
+		return s.Elements()
+	}
+	a, b := build(), build()
+	same := len(a) == len(b)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i] == b[i]
+	}
+	fmt.Println(same)
+	// Output: true
+}

@@ -1,0 +1,3 @@
+module phasehash
+
+go 1.22

@@ -1,0 +1,37 @@
+package phasehash
+
+import "phasehash/internal/core"
+
+// GrowSet is a Set that resizes itself during insert phases — the
+// paper's Section 4 resizing scheme (incremental migration to a table of
+// twice the size, at least two elements copied per insert, at most two
+// tables live). The phase discipline matches Set's; Elements and Count
+// finish any in-progress migration, and the quiescent layout after a
+// drain is deterministic exactly like Set's.
+type GrowSet struct {
+	t *core.GrowTable[core.SetOps]
+}
+
+// NewGrowSet returns a growing set with the given initial capacity.
+func NewGrowSet(initial int) *GrowSet {
+	return &GrowSet{t: core.NewGrowTable[core.SetOps](initial)}
+}
+
+// Insert adds k (insert phase), growing as needed.
+func (s *GrowSet) Insert(k uint64) bool { return s.t.Insert(k) }
+
+// Contains reports membership (read phase).
+func (s *GrowSet) Contains(k uint64) bool { return s.t.Contains(k) }
+
+// Delete removes k (delete phase).
+func (s *GrowSet) Delete(k uint64) bool { return s.t.Delete(k) }
+
+// Elements returns the keys in a deterministic order (quiescent callers
+// only; completes any migration first).
+func (s *GrowSet) Elements() []uint64 { return s.t.Elements() }
+
+// Count returns the number of keys (quiescent callers only).
+func (s *GrowSet) Count() int { return s.t.Count() }
+
+// Capacity returns the current backing array size.
+func (s *GrowSet) Capacity() int { return s.t.Size() }

@@ -1,0 +1,273 @@
+// Package bfs implements the paper's breadth-first-search application
+// (Section 5, Figure 2, Table 7) three ways:
+//
+//   - Serial: textbook queue-based BFS (the paper's "serial" row).
+//   - Array: the deterministic array-based frontier of PBBS — per-vertex
+//     neighbor segments, WriteMin parent selection, prefix-sum packing
+//     (the paper's "array" row).
+//   - Table: the hash-table frontier of Figure 2 — parents claimed with
+//     WriteMin, newly visited vertices inserted into a phase-concurrent
+//     table, the next frontier obtained with Elements().
+//
+// All versions compute the minimum-parent BFS tree: each vertex's parent
+// is the smallest-numbered neighbor in the previous level, so the
+// deterministic versions agree exactly with the serial reference.
+//
+// Following Figure 2, visited vertices hold their parent *negated*
+// (encoded -(p+1)) while a level is being processed; the exported
+// functions decode before returning.
+package bfs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"phasehash/internal/atomicx"
+	"phasehash/internal/core"
+	"phasehash/internal/graph"
+	"phasehash/internal/parallel"
+	"phasehash/internal/tables"
+)
+
+// Unvisited marks a vertex not reached by the search.
+const Unvisited = int64(math.MaxInt64)
+
+// Serial runs a sequential BFS from r and returns the parent array
+// (parents[v] = parent of v, r for the root, Unvisited if unreachable).
+// The frontier is scanned in increasing vertex order with first-claim
+// wins, which makes every vertex's parent its minimum previous-level
+// neighbor — the same tree the WriteMin-based parallel versions build.
+func Serial(g *graph.Graph, r int) []int64 {
+	n := g.NumVertices()
+	parents := make([]int64, n)
+	for i := range parents {
+		parents[i] = Unvisited
+	}
+	parents[r] = int64(r)
+	frontier := []uint32{uint32(r)}
+	var next []uint32
+	for len(frontier) > 0 {
+		next = next[:0]
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(int(v)) {
+				if parents[u] == Unvisited {
+					parents[u] = int64(v)
+					next = append(next, u)
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		frontier = append(frontier[:0], next...)
+	}
+	return parents
+}
+
+// visited encoding: -(p+1) for a settled vertex with parent p.
+func encode(p int64) int64 { return -(p + 1) }
+func decode(p int64) int64 { return -p - 1 }
+
+// claimNeighbors runs the WriteMin parent-claim pass for one frontier.
+// Settled vertices are negative and skipped; claimed-but-unsettled
+// vertices still accept smaller claims, which is what makes the result
+// the minimum parent and hence deterministic.
+func claimNeighbors(g *graph.Graph, parents []int64, frontier []uint32, won func(v uint32, u uint32)) {
+	parallel.ForGrain(len(frontier), 1, func(i int) {
+		v := frontier[i]
+		for _, u := range g.Neighbors(int(v)) {
+			if atomic.LoadInt64(&parents[u]) < 0 {
+				continue // settled in an earlier level
+			}
+			if atomicx.WriteMinInt64(&parents[u], int64(v)) && won != nil {
+				won(v, u)
+			}
+		}
+	})
+}
+
+// settle negates the parents of the new frontier, marking them visited.
+func settle(parents []int64, frontier []uint32) {
+	parallel.For(len(frontier), func(i int) {
+		u := frontier[i]
+		parents[u] = encode(parents[u])
+	})
+}
+
+// decodeAll converts the negated encoding back to plain parents.
+func decodeAll(parents []int64) {
+	parallel.For(len(parents), func(i int) {
+		if parents[i] < 0 {
+			parents[i] = decode(parents[i])
+		}
+	})
+}
+
+// Array runs the parallel array-based BFS (the paper's deterministic
+// PBBS baseline): allocate a segment per frontier vertex sized by its
+// degree, WriteMin-claim parents, copy each vertex's won neighbors into
+// its segment, and pack with a prefix sum.
+func Array(g *graph.Graph, r int) []int64 {
+	n := g.NumVertices()
+	parents := make([]int64, n)
+	parallel.For(n, func(i int) { parents[i] = Unvisited })
+	parents[r] = encode(int64(r))
+	frontier := []uint32{uint32(r)}
+	for len(frontier) > 0 {
+		f := len(frontier)
+		degs := make([]int, f)
+		parallel.For(f, func(i int) { degs[i] = g.Degree(int(frontier[i])) })
+		offsets := make([]int, f)
+		total := parallel.Scan(offsets, degs)
+		next := make([]uint32, total)
+		const none = ^uint32(0)
+		claimNeighbors(g, parents, frontier, nil)
+		// With all claims settled, exactly one frontier vertex owns each
+		// newly claimed neighbor; owners copy into their segments.
+		parallel.ForGrain(f, 1, func(i int) {
+			v := frontier[i]
+			o := offsets[i]
+			for _, u := range g.Neighbors(int(v)) {
+				if atomic.LoadInt64(&parents[u]) == int64(v) {
+					next[o] = u
+					o++
+				}
+			}
+			for ; o < offsets[i]+degs[i]; o++ {
+				next[o] = none
+			}
+		})
+		frontier = parallel.Pack(next, func(i int) bool { return next[i] != none })
+		settle(parents, frontier)
+	}
+	decodeAll(parents)
+	return parents
+}
+
+// Table runs the hash-table BFS of Figure 2 with the given table kind.
+// Each level: WriteMin claims parents and winners insert the neighbor
+// into a fresh table (sized to the frontier's total degree, doubled for
+// cuckoo, as in the paper); Elements() yields the next frontier, with a
+// deterministic order when the table is deterministic.
+func Table(g *graph.Graph, r int, kind tables.Kind) []int64 {
+	n := g.NumVertices()
+	parents := make([]int64, n)
+	parallel.For(n, func(i int) { parents[i] = Unvisited })
+	parents[r] = encode(int64(r))
+	frontier := []uint32{uint32(r)}
+	for len(frontier) > 0 {
+		sumDeg := parallel.Sum(len(frontier), func(i int) int { return g.Degree(int(frontier[i])) })
+		size := ceilPow2(sumDeg + 1)
+		if kind == tables.Cuckoo {
+			// The paper doubles the cuckoo table for BFS; we double again
+			// because a frontier whose neighbors are all distinct and
+			// unvisited fills sumDeg cells, and two-choice cuckoo
+			// degrades right at 50% load.
+			size *= 4
+		}
+		tab := tables.MustNew[core.SetOps](kind, size)
+		// Insert phase: winners insert newly claimed vertices. A vertex
+		// can be inserted by a transient winner and then re-claimed by a
+		// smaller parent; the table stores the vertex id, so duplicates
+		// merge and the *final* WriteMin value is its parent either way.
+		claimNeighbors(g, parents, frontier, func(_, u uint32) {
+			tab.Insert(uint64(u) + 1) // offset: table keys must not be 0
+		})
+		// Elements phase.
+		elems := tab.Elements()
+		next := make([]uint32, len(elems))
+		parallel.For(len(elems), func(i int) { next[i] = uint32(elems[i] - 1) })
+		frontier = next
+		settle(parents, frontier)
+	}
+	decodeAll(parents)
+	return parents
+}
+
+func ceilPow2(x int) int {
+	m := 1
+	for m < x {
+		m <<= 1
+	}
+	return m
+}
+
+// Check verifies that parents is a valid BFS tree of g rooted at r — the
+// root is its own parent, every tree edge exists in g, levels increase
+// by exactly one along tree edges, and no reachable vertex is missed. It
+// returns the number of reached vertices.
+func Check(g *graph.Graph, r int, parents []int64) (int, error) {
+	n := g.NumVertices()
+	if parents[r] != int64(r) {
+		return 0, fmt.Errorf("bfs: root parent is %d, want %d", parents[r], r)
+	}
+	// Compute levels by chasing parents (with cycle guard).
+	level := make([]int64, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[r] = 0
+	reached := 0
+	var walk func(v int, depth int) (int64, error)
+	walk = func(v int, depth int) (int64, error) {
+		if depth > n {
+			return 0, fmt.Errorf("bfs: parent chain cycle at %d", v)
+		}
+		if level[v] >= 0 {
+			return level[v], nil
+		}
+		p := parents[v]
+		if p == Unvisited {
+			return -1, nil
+		}
+		if p < 0 || p >= int64(n) {
+			return 0, fmt.Errorf("bfs: vertex %d has bad parent %d", v, p)
+		}
+		// Tree edge must exist.
+		ok := false
+		for _, u := range g.Neighbors(v) {
+			if int64(u) == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return 0, fmt.Errorf("bfs: tree edge %d-%d not in graph", v, p)
+		}
+		pl, err := walk(int(p), depth+1)
+		if err != nil {
+			return 0, err
+		}
+		if pl < 0 {
+			return 0, fmt.Errorf("bfs: vertex %d has unvisited parent %d", v, p)
+		}
+		level[v] = pl + 1
+		return level[v], nil
+	}
+	for v := 0; v < n; v++ {
+		l, err := walk(v, 0)
+		if err != nil {
+			return 0, err
+		}
+		if l >= 0 {
+			reached++
+		}
+	}
+	// BFS property: every edge spans at most one level, and every vertex
+	// adjacent to a visited vertex is visited.
+	for v := 0; v < n; v++ {
+		if level[v] < 0 {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if level[u] < 0 {
+				return 0, fmt.Errorf("bfs: vertex %d visited but neighbor %d not", v, u)
+			}
+			d := level[v] - level[u]
+			if d < -1 || d > 1 {
+				return 0, fmt.Errorf("bfs: edge %d-%d spans levels %d and %d", v, u, level[v], level[u])
+			}
+		}
+	}
+	return reached, nil
+}

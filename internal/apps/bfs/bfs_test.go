@@ -1,0 +1,119 @@
+package bfs
+
+import (
+	"testing"
+
+	"phasehash/internal/graph"
+	"phasehash/internal/tables"
+)
+
+func graphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	return map[string]*graph.Graph{
+		"grid":   graph.Grid3D(12),           // 1728 vertices, connected
+		"random": graph.Random(3000, 5, 11),  // likely connected
+		"rmat":   graph.RMat(11, 3*2048, 13), // skewed, disconnected
+		"path":   pathGraph(100),
+		"star":   starGraph(200),
+	}
+}
+
+func pathGraph(n int) *graph.Graph {
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{U: uint32(i), V: uint32(i + 1)}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func starGraph(n int) *graph.Graph {
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{U: 0, V: uint32(i + 1)}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func TestSerialBFSValid(t *testing.T) {
+	for name, g := range graphs(t) {
+		parents := Serial(g, 0)
+		if _, err := Check(g, 0, parents); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestArrayMatchesSerial(t *testing.T) {
+	for name, g := range graphs(t) {
+		want := Serial(g, 0)
+		got := Array(g, 0)
+		for v := range want {
+			if want[v] != got[v] {
+				t.Fatalf("%s: parents differ at %d: serial %d, array %d", name, v, want[v], got[v])
+			}
+		}
+	}
+}
+
+func TestTableKindsValidAndDeterministic(t *testing.T) {
+	for name, g := range graphs(t) {
+		want := Serial(g, 0)
+		for _, kind := range []tables.Kind{tables.LinearD, tables.LinearND, tables.Cuckoo, tables.ChainedCR, tables.HopscotchPC} {
+			parents := Table(g, 0, kind)
+			if _, err := Check(g, 0, parents); err != nil {
+				t.Fatalf("%s/%s: %v", name, kind, err)
+			}
+			// Every kind computes the min-parent tree (WriteMin decides
+			// parents, not the table), so all match serial.
+			for v := range want {
+				if want[v] != parents[v] {
+					t.Fatalf("%s/%s: parent of %d is %d, serial %d", name, kind, v, parents[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	// Two components; BFS from 0 must leave the other untouched.
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}}
+	g := graph.FromEdges(5, edges)
+	for _, f := range []func() []int64{
+		func() []int64 { return Serial(g, 0) },
+		func() []int64 { return Array(g, 0) },
+		func() []int64 { return Table(g, 0, tables.LinearD) },
+	} {
+		parents := f()
+		reached, err := Check(g, 0, parents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reached != 3 {
+			t.Fatalf("reached %d vertices, want 3", reached)
+		}
+		if parents[3] != Unvisited || parents[4] != Unvisited {
+			t.Fatal("vertices in other component were visited")
+		}
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	g := graph.FromEdges(1, nil)
+	parents := Table(g, 0, tables.LinearD)
+	if parents[0] != 0 {
+		t.Fatalf("parents[0] = %d", parents[0])
+	}
+}
+
+func TestRepeatedRunsIdentical(t *testing.T) {
+	g := graph.Random(2000, 5, 21)
+	a := Table(g, 0, tables.LinearD)
+	for trial := 0; trial < 4; trial++ {
+		b := Table(g, 0, tables.LinearD)
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("trial %d: non-deterministic parent at %d", trial, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package connectivity implements parallel graph connectivity by
+// recursive edge contraction — the algorithm of Shun, Dhulipala &
+// Blelloch (SPAA 2014, the paper's reference [31]) that the paper's
+// edge-contraction section names as the consumer of deterministic
+// duplicate-removal on contraction:
+//
+//	repeat until no edges remain:
+//	  1. compute a maximal matching of the current edges
+//	     (deterministic reservations)
+//	  2. contract matched pairs into supervertices
+//	  3. relabel the edges and REMOVE DUPLICATES with the deterministic
+//	     hash table (insert + Elements — the paper's Table 6 kernel)
+//
+// Labels propagate through the contraction tree, so the final component
+// labels are canonical (each component is labelled by its minimum
+// vertex via the lexicographically-first matchings), and with the
+// deterministic table the whole execution is deterministic.
+package connectivity
+
+import (
+	"phasehash/internal/apps/contract"
+	"phasehash/internal/graph"
+	"phasehash/internal/parallel"
+	"phasehash/internal/tables"
+)
+
+// maxRounds bounds contraction rounds; each round at least halves the
+// matched subgraph, so log2(n) rounds always suffice for matchable
+// graphs, but star-like rounds can match only a little — cap generously
+// and fall through to a final label propagation.
+const maxRounds = 64
+
+// Components returns a label per vertex such that two vertices have
+// equal labels iff they are connected, computed by recursive edge
+// contraction with duplicate removal in a table of the given kind.
+// Labels are canonical: each component's label is its minimum vertex id.
+func Components(n int, edges []graph.Edge, kind tables.Kind) []uint32 {
+	if n >= contract.MaxVertices {
+		panic("connectivity: graph too large for packed edge contraction")
+	}
+	// labels[v] = v's current supervertex.
+	labels := make([]uint32, n)
+	parallel.For(n, func(v int) { labels[v] = uint32(v) })
+
+	cur := append([]graph.Edge(nil), edges...)
+	for round := 0; round < maxRounds && len(cur) > 0; round++ {
+		// 1. Maximal matching on the contracted graph.
+		matched := contract.MaximalMatching(n, cur)
+		relab := contract.Relabeling(matched)
+		// Matched pairs merge; apply to the global labels: every vertex
+		// whose current supervertex got relabelled follows it.
+		parallel.For(n, func(v int) { labels[v] = relab[labels[v]] })
+		// 2+3. Contract and dedup through the hash table (the timed
+		// kernel of the paper's Table 6).
+		packed := contract.Run(kind, cur, relab, nil)
+		next := make([]graph.Edge, len(packed))
+		parallel.For(len(packed), func(i int) {
+			u, v, _ := contract.UnpackEdge(packed[i])
+			next[i] = graph.Edge{U: u, V: v}
+		})
+		if len(next) == len(cur) && matchedNone(matched) {
+			// No progress is possible through matching alone (adversarial
+			// structure); finish with label propagation.
+			return propagate(n, labels, cur)
+		}
+		cur = next
+	}
+	if len(cur) > 0 {
+		return propagate(n, labels, cur)
+	}
+	// Canonicalize: point every vertex at the minimum original vertex of
+	// its supervertex chain (labels already form a forest onto
+	// representatives; compress).
+	return canonicalize(n, labels)
+}
+
+func matchedNone(matched []int32) bool {
+	for _, m := range matched {
+		if m >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// propagate finishes connectivity sequentially on the residual edges
+// (only reached for adversarial inputs where matching stalls).
+func propagate(n int, labels []uint32, residual []graph.Edge) []uint32 {
+	parent := make([]uint32, n)
+	for v := range parent {
+		parent[v] = labels[v]
+	}
+	var find func(x uint32) uint32
+	find = func(x uint32) uint32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range residual {
+		ru, rv := find(labels[e.U]), find(labels[e.V])
+		if ru == rv {
+			continue
+		}
+		if ru < rv {
+			parent[rv] = ru
+		} else {
+			parent[ru] = rv
+		}
+	}
+	out := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		out[v] = find(uint32(v))
+	}
+	return canonicalize(n, out)
+}
+
+// canonicalize maps each label-chain to the component's minimum vertex.
+func canonicalize(n int, labels []uint32) []uint32 {
+	// Compress chains: labels[v] may point at another merged vertex.
+	out := make([]uint32, n)
+	var resolve func(v uint32, depth int) uint32
+	resolve = func(v uint32, depth int) uint32 {
+		if depth > n {
+			return v // cycle guard; cannot happen with min-linking
+		}
+		if labels[v] == v {
+			return v
+		}
+		r := resolve(labels[v], depth+1)
+		labels[v] = r
+		return r
+	}
+	for v := 0; v < n; v++ {
+		out[v] = resolve(uint32(v), 0)
+	}
+	// Re-canonicalize to the minimum member per root (matching links to
+	// the smaller endpoint, so roots are already minima; this is a
+	// safety normalization for the propagate path).
+	min := make([]uint32, n)
+	for v := range min {
+		min[v] = uint32(n)
+	}
+	for v := 0; v < n; v++ {
+		r := out[v]
+		if uint32(v) < min[r] {
+			min[r] = uint32(v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		out[v] = min[out[v]]
+	}
+	return out
+}
+
+// NumComponents counts distinct labels.
+func NumComponents(labels []uint32) int {
+	seen := map[uint32]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	return len(seen)
+}

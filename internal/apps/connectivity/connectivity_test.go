@@ -1,0 +1,168 @@
+package connectivity
+
+import (
+	"testing"
+
+	"phasehash/internal/graph"
+	"phasehash/internal/hashx"
+	"phasehash/internal/tables"
+)
+
+// referenceComponents labels components with a sequential union-find,
+// canonicalized to minimum member.
+func referenceComponents(n int, edges []graph.Edge) []uint32 {
+	parent := make([]uint32, n)
+	for v := range parent {
+		parent[v] = uint32(v)
+	}
+	var find func(x uint32) uint32
+	find = func(x uint32) uint32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			continue
+		}
+		if ru < rv {
+			parent[rv] = ru
+		} else {
+			parent[ru] = rv
+		}
+	}
+	out := make([]uint32, n)
+	min := make([]uint32, n)
+	for v := range min {
+		min[v] = uint32(n)
+	}
+	for v := 0; v < n; v++ {
+		r := find(uint32(v))
+		if uint32(v) < min[r] {
+			min[r] = uint32(v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		out[v] = min[find(uint32(v))]
+	}
+	return out
+}
+
+func randomEdges(n, m int, seed uint64) []graph.Edge {
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			U: uint32(hashx.At(seed, 2*i) % uint64(n)),
+			V: uint32(hashx.At(seed, 2*i+1) % uint64(n)),
+		}
+	}
+	return edges
+}
+
+func TestComponentsMatchesUnionFind(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		n := 2000
+		// Sparse: many components.
+		edges := randomEdges(n, n/2, seed)
+		want := referenceComponents(n, edges)
+		got := Components(n, edges, tables.LinearD)
+		for v := range want {
+			if want[v] != got[v] {
+				t.Fatalf("seed %d: label[%d] = %d, want %d", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestComponentsDenseConnected(t *testing.T) {
+	n := 3000
+	edges := randomEdges(n, 5*n, 9)
+	got := Components(n, edges, tables.LinearD)
+	want := referenceComponents(n, edges)
+	if NumComponents(got) != NumComponents(want) {
+		t.Fatalf("components: %d, want %d", NumComponents(got), NumComponents(want))
+	}
+	for v := range want {
+		if want[v] != got[v] {
+			t.Fatalf("label[%d] differs", v)
+		}
+	}
+}
+
+func TestComponentsGraphGenerators(t *testing.T) {
+	for _, name := range graph.Names {
+		g, err := graph.Build(name, 1000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var edges []graph.Edge
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, u := range g.Neighbors(v) {
+				if int(u) > v {
+					edges = append(edges, graph.Edge{U: uint32(v), V: u})
+				}
+			}
+		}
+		n := g.NumVertices()
+		want := referenceComponents(n, edges)
+		got := Components(n, edges, tables.LinearD)
+		for v := range want {
+			if want[v] != got[v] {
+				t.Fatalf("%s: label[%d] differs", name, v)
+			}
+		}
+	}
+}
+
+func TestComponentsStarGraph(t *testing.T) {
+	// Star: matching contracts slowly; exercises the propagate fallback.
+	n := 500
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{U: 0, V: uint32(i + 1)}
+	}
+	got := Components(n, edges, tables.LinearD)
+	for v := 0; v < n; v++ {
+		if got[v] != 0 {
+			t.Fatalf("star label[%d] = %d, want 0", v, got[v])
+		}
+	}
+}
+
+func TestComponentsEdgeCases(t *testing.T) {
+	// Empty graph.
+	got := Components(5, nil, tables.LinearD)
+	for v := 0; v < 5; v++ {
+		if got[v] != uint32(v) {
+			t.Fatalf("isolated vertex %d labelled %d", v, got[v])
+		}
+	}
+	// Self-loops only.
+	got = Components(3, []graph.Edge{{U: 1, V: 1}}, tables.LinearD)
+	if NumComponents(got) != 3 {
+		t.Fatalf("self-loop merged components: %v", got)
+	}
+}
+
+func TestComponentsDeterministicAcrossRunsAndKinds(t *testing.T) {
+	n := 2000
+	edges := randomEdges(n, 3*n, 21)
+	a := Components(n, edges, tables.LinearD)
+	b := Components(n, edges, tables.LinearD)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("non-deterministic at %d", v)
+		}
+	}
+	// Canonical labels are table-independent (min-vertex labelling), so
+	// even non-deterministic tables agree on the final labelling.
+	c := Components(n, edges, tables.LinearND)
+	for v := range a {
+		if a[v] != c[v] {
+			t.Fatalf("ND table changed canonical labels at %d", v)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package dedup
+
+import (
+	"testing"
+
+	"phasehash/internal/core"
+	"phasehash/internal/sequence"
+	"phasehash/internal/tables"
+)
+
+func TestRunMatchesSortingOracle(t *testing.T) {
+	for _, dist := range []sequence.Distribution{sequence.RandomInt, sequence.ExptInt} {
+		elems := sequence.WordElements(dist, 30000, 5)
+		oracle := RunSorting(elems)
+		for _, kind := range tables.Kinds {
+			got := Run(kind, elems, 2*len(elems))
+			if len(got) != len(oracle) {
+				t.Fatalf("%s/%s: %d distinct, oracle %d", dist, kind, len(got), len(oracle))
+			}
+			seen := map[uint64]bool{}
+			for _, e := range got {
+				if seen[e] {
+					t.Fatalf("%s/%s: duplicate %d in output", dist, kind, e)
+				}
+				seen[e] = true
+			}
+			for _, e := range oracle {
+				if !seen[e] {
+					t.Fatalf("%s/%s: missing %d", dist, kind, e)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicOrderForLinearD(t *testing.T) {
+	elems := sequence.RandomKeys(50000, 77)
+	a := Run(tables.LinearD, elems, 1<<17)
+	b := Run(tables.LinearD, elems, 1<<17)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ across runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("deterministic dedup output differs at %d", i)
+		}
+	}
+	// And it matches the serial history-independent table's order.
+	c := Run(tables.SerialHI, elems, 1<<17)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("parallel dedup order differs from serial HI at %d", i)
+		}
+	}
+}
+
+func TestRunStrings(t *testing.T) {
+	pairs := sequence.TrigramPairs(20000, 3)
+	out := RunStrings(pairs, 1<<16)
+	want := map[string]uint64{}
+	for _, p := range pairs {
+		if v, ok := want[p.Key]; !ok || p.Val < v {
+			want[p.Key] = p.Val
+		}
+	}
+	if len(out) != len(want) {
+		t.Fatalf("got %d distinct strings, want %d", len(out), len(want))
+	}
+	for _, p := range out {
+		if p.Val != want[p.Key] {
+			t.Fatalf("key %q kept value %d, want min %d", p.Key, p.Val, want[p.Key])
+		}
+	}
+	// Deterministic order across runs.
+	again := RunStrings(pairs, 1<<16)
+	for i := range out {
+		if out[i].Key != again[i].Key {
+			t.Fatalf("string dedup order differs at %d", i)
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if got := Run(tables.LinearD, nil, 16); len(got) != 0 {
+		t.Errorf("empty input returned %v", got)
+	}
+	got := Run(tables.LinearD, []uint64{42, 42, 42}, 16)
+	if len(got) != 1 || got[0] != 42 {
+		t.Errorf("got %v, want [42]", got)
+	}
+}
+
+func TestRunPairsDedupsByKey(t *testing.T) {
+	elems := sequence.RandomPairs(20000, 9)
+	out := RunPairs(tables.LinearD, elems, 2*len(elems))
+	want := map[uint32]uint32{}
+	for _, e := range elems {
+		k, v := core.PairKey(e), core.PairValue(e)
+		if cur, ok := want[k]; !ok || v < cur {
+			want[k] = v
+		}
+	}
+	if len(out) != len(want) {
+		t.Fatalf("got %d distinct keys, want %d", len(out), len(want))
+	}
+	for _, e := range out {
+		if core.PairValue(e) != want[core.PairKey(e)] {
+			t.Fatalf("key %d kept value %d, want min %d",
+				core.PairKey(e), core.PairValue(e), want[core.PairKey(e)])
+		}
+	}
+	// Deterministic across kinds' *set* and across runs for linearHash-D.
+	again := RunPairs(tables.LinearD, elems, 2*len(elems))
+	for i := range out {
+		if out[i] != again[i] {
+			t.Fatalf("order differs at %d", i)
+		}
+	}
+}

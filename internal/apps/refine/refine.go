@@ -1,0 +1,231 @@
+// Package refine implements the paper's Delaunay-refinement application
+// (Section 5, Table 4): iteratively insert circumcenters of "bad"
+// triangles (minimum angle below a bound) until none remain or a point
+// budget is exhausted. Bad triangles live in a phase-concurrent hash
+// table; each iteration calls Elements() to obtain them in a
+// deterministic order, marks the triangles each insertion would affect
+// with WriteMin (deterministic reservations, priorities = positions in
+// the Elements() output), applies the non-conflicting winners, and
+// inserts the surviving and newly created bad triangles into the next
+// table. With a deterministic table, the whole refinement — including
+// the final mesh — is deterministic.
+//
+// Substitution note (DESIGN.md): the paper's mesh updates run in
+// parallel under Cilk; here the winners' cavity insertions are applied
+// in priority order on one goroutine (they are provably disjoint, so
+// the result is identical), while both hash-table phases and the
+// reservation phase — the code paths Table 4 times — run in parallel.
+// Boundary/encroachment handling of full Ruppert refinement is out of
+// scope on random-point inputs: circumcenters falling outside the
+// bounding triangle are skipped.
+package refine
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"phasehash/internal/atomicx"
+	"phasehash/internal/core"
+	"phasehash/internal/delaunay"
+	"phasehash/internal/geom"
+	"phasehash/internal/parallel"
+	"phasehash/internal/tables"
+)
+
+// Config controls a refinement run.
+type Config struct {
+	// MinAngleDeg is the quality bound α: triangles with a smaller
+	// minimum angle are bad. The classic safe bound is <= ~20-28°.
+	MinAngleDeg float64
+	// MaxPoints caps the number of inserted circumcenters (0 = no cap).
+	MaxPoints int
+	// MaxRounds caps refinement iterations (0 = no cap).
+	MaxRounds int
+	// Kind selects the bad-triangle table implementation.
+	Kind tables.Kind
+}
+
+// Stats reports a refinement run.
+type Stats struct {
+	Rounds      int
+	PointsAdded int
+	BadInitial  int
+	BadFinal    int
+	// TableTime is the total wall time spent in the hash-table phases
+	// (Elements() calls plus bad-triangle insertions) — the portion the
+	// paper's Table 4 reports.
+	TableTime time.Duration
+}
+
+// noMark is the reservation array's empty value.
+const noMark = ^uint64(0)
+
+// Run refines the mesh in place and returns statistics.
+func Run(m *delaunay.Mesh, cfg Config) Stats {
+	cosBound := math.Cos(cfg.MinAngleDeg * math.Pi / 180)
+	var st Stats
+
+	isBad := func(t int32) bool {
+		if !m.IsReal(t) {
+			return false
+		}
+		a, b, c := m.TriPoints(t)
+		return geom.MinAngleCos(a, b, c) > cosBound
+	}
+
+	// Initial bad set, via a table insert phase + Elements (timed).
+	real := m.RealTriangles()
+	tab := newTable(cfg.Kind, len(real))
+	t0 := time.Now()
+	parallel.ForGrain(len(real), 64, func(i int) {
+		if isBad(real[i]) {
+			tab.Insert(uint64(real[i]) + 1)
+		}
+	})
+	bad := tab.Elements()
+	st.TableTime += time.Since(t0)
+	st.BadInitial = len(bad)
+
+	bufPool := sync.Pool{New: func() any { return delaunay.NewCavityBuf() }}
+
+	for len(bad) > 0 {
+		if cfg.MaxRounds > 0 && st.Rounds >= cfg.MaxRounds {
+			break
+		}
+		if cfg.MaxPoints > 0 && st.PointsAdded >= cfg.MaxPoints {
+			break
+		}
+		st.Rounds++
+
+		// Reservation phase: each bad triangle computes the triangles
+		// its circumcenter insertion would affect (cavity + boundary
+		// neighbors) and WriteMin-marks them with its priority.
+		marks := make([]uint64, len(m.Tris))
+		parallel.For(len(marks), func(i int) { marks[i] = noMark })
+		centers := make([]geom.Point, len(bad))
+		ok := make([]bool, len(bad))
+		parallel.ForBlocked(len(bad), 8, func(lo, hi int) {
+			buf := bufPool.Get().(*delaunay.CavityBuf)
+			defer bufPool.Put(buf)
+			for i := lo; i < hi; i++ {
+				t := int32(bad[i] - 1)
+				if !isBad(t) { // may have been destroyed last round
+					continue
+				}
+				a, b, c := m.TriPoints(t)
+				cc := geom.Circumcenter(a, b, c)
+				if !m.InSuperTriangle(cc) {
+					continue // unrefinable without boundary handling
+				}
+				centers[i] = cc
+				ok[i] = true
+				cav := m.CavityRO(cc, t, buf)
+				for _, ct := range cav {
+					atomicx.WriteMin(&marks[ct], uint64(i))
+					for _, nt := range m.Neighbors3(ct) {
+						if nt != delaunay.NoTri {
+							atomicx.WriteMin(&marks[nt], uint64(i))
+						}
+					}
+				}
+			}
+		})
+		// Winner detection: a bad triangle is active iff it holds every
+		// mark it wrote.
+		active := make([]bool, len(bad))
+		parallel.ForBlocked(len(bad), 8, func(lo, hi int) {
+			buf := bufPool.Get().(*delaunay.CavityBuf)
+			defer bufPool.Put(buf)
+			for i := lo; i < hi; i++ {
+				if !ok[i] {
+					continue
+				}
+				t := int32(bad[i] - 1)
+				cav := m.CavityRO(centers[i], t, buf)
+				won := true
+			check:
+				for _, ct := range cav {
+					if marks[ct] != uint64(i) {
+						won = false
+						break
+					}
+					for _, nt := range m.Neighbors3(ct) {
+						if nt != delaunay.NoTri && marks[nt] != uint64(i) {
+							won = false
+							break check
+						}
+					}
+				}
+				active[i] = won
+			}
+		})
+
+		// Apply phase: winners' cavities are disjoint, so applying them
+		// in priority order is equivalent to any parallel schedule.
+		var created []int32
+		applied := 0
+		for i := range bad {
+			if !active[i] {
+				continue
+			}
+			_, newTris := m.InsertPoint(centers[i])
+			created = append(created, newTris...)
+			applied++
+			st.PointsAdded++
+			if cfg.MaxPoints > 0 && st.PointsAdded >= cfg.MaxPoints {
+				break
+			}
+		}
+
+		// Next bad set: new bad triangles plus surviving losers (timed:
+		// this is the per-iteration "hash table portion" of Table 4 —
+		// insertions followed by Elements()).
+		tab = newTable(cfg.Kind, 2*(len(created)+len(bad)))
+		t0 = time.Now()
+		parallel.ForGrain(len(created), 16, func(i int) {
+			if isBad(created[i]) {
+				tab.Insert(uint64(created[i]) + 1)
+			}
+		})
+		parallel.ForGrain(len(bad), 16, func(i int) {
+			t := int32(bad[i] - 1)
+			if !active[i] && isBad(t) {
+				tab.Insert(uint64(t) + 1)
+			}
+		})
+		newBad := tab.Elements()
+		st.TableTime += time.Since(t0)
+		bad = newBad
+
+		// Progress guard: the minimum-priority viable triangle always
+		// wins its reservations, so applied == 0 means every remaining
+		// bad triangle's circumcenter escapes the domain — no further
+		// progress is possible without boundary handling.
+		if applied == 0 {
+			break
+		}
+	}
+	st.BadFinal = len(bad)
+	return st
+}
+
+// newTable sizes the bad-triangle table as the paper does for Table 4:
+// twice the number of bad triangles, rounded up to a power of two.
+func newTable(kind tables.Kind, n int) tables.Table {
+	return tables.MustNew[core.SetOps](kind, tables.SizeFor(kind, 2*n+2))
+}
+
+// CountBad counts bad triangles in the mesh for a given angle bound —
+// used by tests and the example to confirm refinement progress.
+func CountBad(m *delaunay.Mesh, minAngleDeg float64) int {
+	cosBound := math.Cos(minAngleDeg * math.Pi / 180)
+	n := 0
+	for _, t := range m.RealTriangles() {
+		a, b, c := m.TriPoints(t)
+		if geom.MinAngleCos(a, b, c) > cosBound {
+			n++
+		}
+	}
+	return n
+}

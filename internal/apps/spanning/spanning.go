@@ -1,0 +1,242 @@
+// Package spanning implements the paper's spanning-forest application
+// (Section 5, Table 8) using deterministic reservations (Blelloch et
+// al., PPoPP 2012): edges carry their index as priority; each round,
+// live edges find their endpoints' components and reserve *both* roots
+// with WriteMin; an edge commits if it still holds at least one of its
+// reservations, linking the held root under the other. Three variants:
+//
+//   - Serial: sequential union-find in edge order (the reference).
+//   - Array: reservations in a direct-addressed array indexed by
+//     component root (the paper's "array" row).
+//   - Table: reservations in a hash table keyed by component root (the
+//     paper's hash-table rows) — the variant of choice when vertex IDs
+//     come from a huge space and relabeling is to be avoided. Each round
+//     decomposes into an insert phase (reserve), a find phase (commit)
+//     and a delete phase (release surviving reservations), exactly the
+//     phase-concurrent usage the paper describes.
+//
+// All deterministic variants return exactly the edges the serial
+// algorithm picks (the lexicographically-first spanning forest).
+package spanning
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"phasehash/internal/atomicx"
+	"phasehash/internal/core"
+	"phasehash/internal/detres"
+	"phasehash/internal/graph"
+	"phasehash/internal/parallel"
+	"phasehash/internal/tables"
+	"phasehash/internal/unionfind"
+)
+
+// Serial computes the spanning forest sequentially, returning the
+// indices of kept edges in increasing order.
+func Serial(n int, edges []graph.Edge) []int {
+	uf := unionfind.New(n)
+	var kept []int
+	for i, e := range edges {
+		u, v := uf.Find(int(e.U)), uf.Find(int(e.V))
+		if u == v {
+			continue
+		}
+		uf.Link(u, v)
+		kept = append(kept, i)
+	}
+	return kept
+}
+
+const noRes = ^uint64(0)
+
+// keptSet accumulates committed edge indices from concurrent commits.
+type keptSet struct {
+	mu   sync.Mutex
+	idxs []int
+}
+
+func (k *keptSet) add(i int) {
+	k.mu.Lock()
+	k.idxs = append(k.idxs, i)
+	k.mu.Unlock()
+}
+
+func (k *keptSet) sorted() []int {
+	parallel.Sort(k.idxs, func(a, b int) bool { return a < b })
+	return k.idxs
+}
+
+// arrayStep is the deterministic-reservations step with array-based
+// reservations (one WriteMin cell per vertex, indexed by component root).
+type arrayStep struct {
+	uf       *unionfind.UF
+	edges    []graph.Edge
+	reserved []uint64
+	roots    [][2]int32 // per-edge roots cached between reserve and commit
+	kept     keptSet
+}
+
+func (s *arrayStep) Reserve(i int) bool {
+	e := s.edges[i]
+	u := s.uf.Find(int(e.U))
+	v := s.uf.Find(int(e.V))
+	if u == v {
+		return false
+	}
+	s.roots[i] = [2]int32{int32(u), int32(v)}
+	atomicx.WriteMin(&s.reserved[u], uint64(i))
+	atomicx.WriteMin(&s.reserved[v], uint64(i))
+	return true
+}
+
+func (s *arrayStep) Commit(i int) bool {
+	u, v := int(s.roots[i][0]), int(s.roots[i][1])
+	// Commit if we hold either root; link the held root under the other.
+	// check-and-reset on v's reservation:
+	if atomic.CompareAndSwapUint64(&s.reserved[v], uint64(i), noRes) {
+		// v dies; release u (still live) if we hold it too.
+		atomic.CompareAndSwapUint64(&s.reserved[u], uint64(i), noRes)
+		s.uf.Link(v, u)
+		s.kept.add(i)
+		return true
+	}
+	if atomic.CompareAndSwapUint64(&s.reserved[u], uint64(i), noRes) {
+		s.uf.Link(u, v)
+		s.kept.add(i)
+		return true
+	}
+	return false
+}
+
+// Array computes the spanning forest with array reservations; the kept
+// edge set equals Serial's.
+func Array(n int, edges []graph.Edge) []int {
+	s := &arrayStep{
+		uf:       unionfind.New(n),
+		edges:    edges,
+		reserved: make([]uint64, n),
+		roots:    make([][2]int32, len(edges)),
+	}
+	parallel.For(n, func(i int) { s.reserved[i] = noRes })
+	detres.SpeculativeFor(s, 0, len(edges), 0)
+	return s.kept.sorted()
+}
+
+// Table computes the spanning forest with hash-table reservations using
+// the given table kind, sized at twice the vertex count as in the
+// paper's Table 8 configuration. For deterministic tables the result
+// equals Serial's; for the others it is still a valid spanning forest.
+func Table(n int, edges []graph.Edge, kind tables.Kind) []int {
+	tab := tables.MustNew[core.PairMinOps](kind, tables.SizeFor(kind, 2*n))
+	uf := unionfind.New(n)
+	roots := make([][2]int32, len(edges))
+	var kept keptSet
+
+	granularity := len(edges)/50 + 256
+	active := make([]int, 0, granularity+8)
+	next := 0
+	key := func(root int32) uint64 { return core.Pair(uint32(root)+1, 0) }
+	for {
+		for len(active) < granularity && next < len(edges) {
+			active = append(active, next)
+			next++
+		}
+		if len(active) == 0 {
+			break
+		}
+		p := len(active)
+		keep := make([]bool, p)
+		release := make([]int32, p) // live roots whose reservation we must delete
+		// --- Insert phase: reserve both roots (PairMin keeps the
+		// minimum edge index per root key).
+		parallel.ForGrain(p, 1, func(j int) {
+			i := active[j]
+			e := edges[i]
+			u := uf.Find(int(e.U))
+			v := uf.Find(int(e.V))
+			release[j] = -1
+			if u == v {
+				return
+			}
+			roots[i] = [2]int32{int32(u), int32(v)}
+			tab.Insert(core.Pair(uint32(u)+1, uint32(i)))
+			tab.Insert(core.Pair(uint32(v)+1, uint32(i)))
+			keep[j] = true
+		})
+		// --- Find phase: commit edges that hold a reservation.
+		parallel.ForGrain(p, 1, func(j int) {
+			if !keep[j] {
+				return
+			}
+			i := active[j]
+			u, v := roots[i][0], roots[i][1]
+			ev, okV := tab.Find(key(v))
+			if okV && core.PairValue(ev) == uint32(i) {
+				// v dies under u; if we also hold u (still live),
+				// schedule its reservation for release.
+				if eu, okU := tab.Find(key(u)); okU && core.PairValue(eu) == uint32(i) {
+					release[j] = u
+				}
+				uf.Link(int(v), int(u))
+				kept.add(i)
+				keep[j] = false
+				return
+			}
+			if eu, okU := tab.Find(key(u)); okU && core.PairValue(eu) == uint32(i) {
+				uf.Link(int(u), int(v))
+				kept.add(i)
+				keep[j] = false
+			}
+		})
+		// --- Delete phase: release reservations on surviving roots so
+		// stale minima cannot block the next round. (Reservations on
+		// dead roots are never consulted again and stay in the table;
+		// at most one per vertex over the whole run.)
+		parallel.ForGrain(p, 1, func(j int) {
+			if release[j] >= 0 {
+				tab.Delete(key(release[j]))
+			}
+		})
+		w := 0
+		for j := 0; j < p; j++ {
+			if keep[j] {
+				active[w] = active[j]
+				w++
+			}
+		}
+		active = active[:w]
+	}
+	return kept.sorted()
+}
+
+// Forest converts kept edge indices back to edges.
+func Forest(edges []graph.Edge, kept []int) []graph.Edge {
+	out := make([]graph.Edge, len(kept))
+	for i, k := range kept {
+		out[i] = edges[k]
+	}
+	return out
+}
+
+// Check verifies that kept forms a spanning forest of (n, edges): kept
+// edges never close a cycle, and every graph edge has both endpoints in
+// one tree. It returns the number of trees (components).
+func Check(n int, edges []graph.Edge, kept []int) (int, error) {
+	uf := unionfind.New(n)
+	for _, i := range kept {
+		e := edges[i]
+		u, v := uf.Find(int(e.U)), uf.Find(int(e.V))
+		if u == v {
+			return 0, fmt.Errorf("spanning: kept edge %d (%d-%d) closes a cycle", i, e.U, e.V)
+		}
+		uf.Link(u, v)
+	}
+	for _, e := range edges {
+		if uf.Find(int(e.U)) != uf.Find(int(e.V)) {
+			return 0, fmt.Errorf("spanning: edge %d-%d connects two trees (forest not maximal)", e.U, e.V)
+		}
+	}
+	return uf.NumRoots(), nil
+}

@@ -1,0 +1,159 @@
+// Package suffixapp drives the paper's suffix-tree experiment (Section
+// 5, Table 5): build a suffix tree over a text with the node-child index
+// in a hash table (5a times the index insert phase), then search a
+// million random patterns (5b times the find phase).
+//
+// The paper's corpora are etext99 (English text, 105 MB), rctail96
+// (retail/Reuters-style records) and sprot34.dat (protein sequences).
+// We synthesize corpora of the same character classes at configurable
+// size (DESIGN.md, substitutions): trigram-model English, digit-heavy
+// delimited records, and 20-letter-alphabet protein strings.
+package suffixapp
+
+import (
+	"sync/atomic"
+	"time"
+
+	"phasehash/internal/hashx"
+	"phasehash/internal/parallel"
+	"phasehash/internal/sequence"
+	"phasehash/internal/suffix"
+	"phasehash/internal/tables"
+)
+
+// Corpus names the paper's three texts.
+type Corpus string
+
+// The texts of Table 5.
+const (
+	Etext  Corpus = "etext99"
+	Rctail Corpus = "rctail96"
+	Sprot  Corpus = "sprot34.dat"
+)
+
+// Corpora lists the texts in the paper's column order.
+var Corpora = []Corpus{Etext, Rctail, Sprot}
+
+// MakeText synthesizes a corpus of approximately n bytes.
+func MakeText(c Corpus, n int, seed uint64) []byte {
+	switch c {
+	case Etext:
+		// English-like running text from the trigram word model.
+		words := sequence.TrigramWords(n/5+1, seed)
+		buf := make([]byte, 0, n+16)
+		for _, w := range words {
+			if len(buf) >= n {
+				break
+			}
+			buf = append(buf, w...)
+			buf = append(buf, ' ')
+		}
+		return buf[:min(n, len(buf))]
+	case Rctail:
+		// Retail-transaction-like records: runs of digit item codes
+		// separated by spaces and newlines.
+		buf := make([]byte, n)
+		parallel.For(n, func(i int) {
+			r := hashx.At(seed, i)
+			switch {
+			case i%64 == 63:
+				buf[i] = '\n'
+			case r%5 == 0:
+				buf[i] = ' '
+			default:
+				buf[i] = '0' + byte(r%10)
+			}
+		})
+		return buf
+	case Sprot:
+		// Protein sequences: the 20 amino-acid letters with rare
+		// newline-delimited headers.
+		const amino = "ACDEFGHIKLMNPQRSTVWY"
+		buf := make([]byte, n)
+		parallel.For(n, func(i int) {
+			if i%80 == 79 {
+				buf[i] = '\n'
+				return
+			}
+			buf[i] = amino[hashx.At(seed, i)%uint64(len(amino))]
+		})
+		return buf
+	default:
+		panic("suffixapp: unknown corpus " + string(c))
+	}
+}
+
+// Patterns builds the paper's search workload: m patterns of length
+// uniform in [1, 50], half random substrings of the text (hits), half
+// random strings over the text's byte-classes (mostly misses).
+func Patterns(text []byte, m int, seed uint64) [][]byte {
+	pats := make([][]byte, m)
+	parallel.For(m, func(i int) {
+		l := int(hashx.At(seed, i)%50) + 1
+		if l > len(text) {
+			l = len(text)
+		}
+		if i%2 == 0 {
+			start := int(hashx.At(seed+1, i) % uint64(len(text)-l+1))
+			pats[i] = text[start : start+l]
+		} else {
+			p := make([]byte, l)
+			for j := range p {
+				p[j] = 'a' + byte(hashx.At(seed+2, i*64+j)%26)
+			}
+			pats[i] = p
+		}
+	})
+	return pats
+}
+
+// Result reports one run of the experiment.
+type Result struct {
+	Nodes      int
+	InsertTime time.Duration // Table 5(a): child-index insert phase
+	SearchTime time.Duration // Table 5(b): pattern find phase
+	Found      int
+}
+
+// Run executes the Table 5 experiment for one corpus and table kind.
+// Tree construction (suffix array, LCP, structure) is untimed input
+// preparation, as in the paper.
+func Run(tree *suffix.Tree, pats [][]byte, kind tables.Kind) Result {
+	var res Result
+	res.Nodes = tree.NumNodes()
+	t0 := time.Now()
+	tree.BuildIndex(kind)
+	res.InsertTime = time.Since(t0)
+
+	t0 = time.Now()
+	if kind.IsSerial() {
+		n := 0
+		for _, p := range pats {
+			if tree.Contains(p) {
+				n++
+			}
+		}
+		res.Found = n
+	} else {
+		var found atomic.Int64
+		parallel.ForBlocked(len(pats), 0, func(lo, hi int) {
+			n := int64(0)
+			for i := lo; i < hi; i++ {
+				if tree.Contains(pats[i]) {
+					n++
+				}
+			}
+			found.Add(n)
+		})
+		res.Found = int(found.Load())
+	}
+	res.SearchTime = time.Since(t0)
+	return res
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+package suffixapp
+
+import (
+	"bytes"
+	"testing"
+
+	"phasehash/internal/suffix"
+	"phasehash/internal/tables"
+)
+
+func TestMakeTextShapes(t *testing.T) {
+	for _, c := range Corpora {
+		text := MakeText(c, 5000, 7)
+		if len(text) == 0 || len(text) > 5200 {
+			t.Fatalf("%s: length %d", c, len(text))
+		}
+		for _, b := range text {
+			if b == 0 {
+				t.Fatalf("%s: contains 0 byte (reserved terminator)", c)
+			}
+		}
+		// Deterministic.
+		again := MakeText(c, 5000, 7)
+		if !bytes.Equal(text, again) {
+			t.Fatalf("%s: not deterministic", c)
+		}
+	}
+	// Character classes differ across corpora.
+	et := MakeText(Etext, 2000, 1)
+	if bytes.ContainsAny(et, "0123456789") {
+		t.Error("etext contains digits")
+	}
+	rc := MakeText(Rctail, 2000, 1)
+	if !bytes.ContainsAny(rc, "0123456789") {
+		t.Error("rctail lacks digits")
+	}
+	sp := MakeText(Sprot, 2000, 1)
+	if bytes.ContainsAny(sp, "bjouxz") {
+		t.Error("sprot contains non-amino letters")
+	}
+}
+
+func TestPatternsHalfHit(t *testing.T) {
+	text := MakeText(Etext, 20000, 3)
+	pats := Patterns(text, 1000, 9)
+	if len(pats) != 1000 {
+		t.Fatal("wrong pattern count")
+	}
+	hits := 0
+	for i, p := range pats {
+		if len(p) == 0 || len(p) > 50 {
+			t.Fatalf("pattern %d has length %d", i, len(p))
+		}
+		if bytes.Contains(text, p) {
+			hits++
+		}
+	}
+	// At least the substring half must hit.
+	if hits < 500 {
+		t.Fatalf("only %d/1000 patterns hit", hits)
+	}
+}
+
+func TestRunCountsMatchOracle(t *testing.T) {
+	text := MakeText(Sprot, 15000, 5)
+	tree := suffix.New(text)
+	pats := Patterns(text, 400, 11)
+	wantFound := 0
+	for _, p := range pats {
+		if bytes.Contains(text, p) {
+			wantFound++
+		}
+	}
+	for _, kind := range []tables.Kind{tables.LinearD, tables.LinearND, tables.SerialHI} {
+		res := Run(tree, pats, kind)
+		if res.Found != wantFound {
+			t.Fatalf("%s: found %d, oracle %d", kind, res.Found, wantFound)
+		}
+		if res.Nodes != tree.NumNodes() {
+			t.Fatalf("%s: nodes %d", kind, res.Nodes)
+		}
+		if res.InsertTime <= 0 || res.SearchTime <= 0 {
+			t.Fatalf("%s: missing timings %+v", kind, res)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"phasehash/internal/sequence"
+	"phasehash/internal/tables"
+)
+
+// The harness itself is code that must not rot: these tests run every
+// experiment at tiny scale and check that it measures something and
+// that the workloads it constructs are consistent.
+
+func TestTable1CellAllOpsRun(t *testing.T) {
+	for _, op := range Ops {
+		for _, kind := range []tables.Kind{tables.LinearD, tables.SerialHI, tables.ChainedCR} {
+			d := sequence.RandomInt
+			dur := Table1Cell(kind, d, op, 5000, 1<<14)
+			if dur <= 0 {
+				t.Fatalf("%s/%s: non-positive duration", kind, op)
+			}
+		}
+	}
+}
+
+func TestTable1CellPairDistributions(t *testing.T) {
+	for _, d := range []sequence.Distribution{sequence.RandomPairInt, sequence.ExptPairInt, sequence.TrigramPairInt} {
+		if dur := Table1Cell(tables.LinearD, d, OpInsert, 5000, 1<<14); dur <= 0 {
+			t.Fatalf("%s: non-positive duration", d)
+		}
+	}
+}
+
+func TestTable1CellStrings(t *testing.T) {
+	for _, op := range Ops {
+		if dur := Table1CellStrings(op, 3000, 1<<13); dur <= 0 {
+			t.Fatalf("%s: non-positive duration", op)
+		}
+	}
+}
+
+func TestTable2CellRows(t *testing.T) {
+	for _, row := range Table2Rows {
+		for _, par := range []bool{false, true} {
+			if dur := Table2Cell(row, 5000, 1<<14, par); dur <= 0 {
+				t.Fatalf("%s par=%v: non-positive duration", row, par)
+			}
+		}
+	}
+}
+
+func TestFigure4PointSpeedupSane(t *testing.T) {
+	par, ser := Figure4Point(sequence.RandomInt, OpInsert, 20000, 1<<16, 1)
+	if par <= 0 || ser <= 0 {
+		t.Fatal("non-positive timings")
+	}
+	// With one worker the parallel path should be within an order of
+	// magnitude of serial (scheduling overhead only).
+	if ratio := par.Seconds() / ser.Seconds(); ratio > 10 {
+		t.Errorf("1-worker parallel %.1fx slower than serial", ratio)
+	}
+}
+
+func TestFigure5PointLoads(t *testing.T) {
+	var prev time.Duration
+	for _, load := range []float64{0.2, 0.9} {
+		dur := Figure5Point(OpInsert, load, 2000, 1<<14)
+		if dur <= 0 {
+			t.Fatalf("load %.1f: non-positive", load)
+		}
+		prev = dur
+	}
+	_ = prev
+}
+
+func TestApplicationsRunTiny(t *testing.T) {
+	if d := Table3(tables.LinearD, sequence.RandomInt, 5000); d <= 0 {
+		t.Fatal("Table3")
+	}
+	ins := Table4Inputs(500)
+	if len(ins) != 2 {
+		t.Fatal("Table4Inputs")
+	}
+	if d := Table4(tables.LinearD, ins[0].Pts, 3); d < 0 {
+		t.Fatal("Table4")
+	}
+	sfx := Table5Inputs(5000, 500)
+	if len(sfx) != 3 {
+		t.Fatal("Table5Inputs")
+	}
+	if a, b := Table5(tables.LinearD, sfx[0]); a <= 0 || b <= 0 {
+		t.Fatal("Table5")
+	}
+	gs := GraphInputs(400)
+	if len(gs) != 3 {
+		t.Fatal("GraphInputs")
+	}
+	for _, in := range gs {
+		if d := Table6(tables.LinearD, in); d <= 0 {
+			t.Fatalf("Table6 %s", in.Name)
+		}
+		if d := Table7(tables.LinearD, in); d <= 0 {
+			t.Fatalf("Table7 %s", in.Name)
+		}
+		if d := Table7Baseline(BFSArray, in); d <= 0 {
+			t.Fatalf("Table7 baseline %s", in.Name)
+		}
+		if d := Table8(tables.LinearD, in); d <= 0 {
+			t.Fatalf("Table8 %s", in.Name)
+		}
+		if d := Table8Baseline(BFSSerial, in); d <= 0 {
+			t.Fatalf("Table8 baseline %s", in.Name)
+		}
+	}
+}
+
+func TestGraphInputsConsistent(t *testing.T) {
+	for _, in := range GraphInputs(1000) {
+		if in.G.NumVertices() < 1000 {
+			t.Fatalf("%s: too few vertices", in.Name)
+		}
+		if len(in.Edges) == 0 || len(in.Weights) != len(in.Edges) {
+			t.Fatalf("%s: bad edge/weight arrays", in.Name)
+		}
+		if len(in.Labels) != in.G.NumVertices() {
+			t.Fatalf("%s: label array size", in.Name)
+		}
+		for v, l := range in.Labels {
+			if int(l) > v && in.Labels[l] != l {
+				// labels point to the smaller matched endpoint or self
+				t.Fatalf("%s: label[%d]=%d inconsistent", in.Name, v, l)
+			}
+		}
+	}
+}

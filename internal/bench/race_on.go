@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled switches the Table 2 scatter to atomic stores when the
+// race detector is on: the benchmark's concurrent plain writes to random
+// cells are the experiment itself (the paper's "random write" baseline),
+// but they are data races by design, so tests under -race use atomics.
+const raceEnabled = true

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"phasehash/internal/hashx"
+	"phasehash/internal/parallel"
+)
+
+// Micro-benchmarks of the core table against Go's built-in map and
+// sync.Map — not a paper experiment, but the comparison downstream
+// users ask for first.
+
+func benchKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = hashx.At(1, i)%uint64(n) + 1
+	}
+	return keys
+}
+
+func BenchmarkWordInsertSerial(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := NewWordTable[SetOps](1 << 18)
+		for _, k := range keys {
+			t.Insert(k)
+		}
+	}
+	b.ReportMetric(float64(len(keys)), "elems/op")
+}
+
+func BenchmarkBuiltinMapInsertSerial(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := make(map[uint64]struct{}, 1<<17)
+		for _, k := range keys {
+			m[k] = struct{}{}
+		}
+	}
+	b.ReportMetric(float64(len(keys)), "elems/op")
+}
+
+func BenchmarkWordInsertParallel(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := NewWordTable[SetOps](1 << 18)
+		parallel.ForBlocked(len(keys), 0, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				t.Insert(keys[j])
+			}
+		})
+	}
+	b.ReportMetric(float64(len(keys)), "elems/op")
+}
+
+func BenchmarkSyncMapInsertParallel(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var m sync.Map
+		parallel.ForBlocked(len(keys), 0, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				m.Store(keys[j], struct{}{})
+			}
+		})
+	}
+	b.ReportMetric(float64(len(keys)), "elems/op")
+}
+
+func BenchmarkWordFind(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	t := NewWordTable[SetOps](1 << 18)
+	for _, k := range keys {
+		t.Insert(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Find(keys[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkWordDelete(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		t := NewWordTable[SetOps](1 << 18)
+		for _, k := range keys {
+			t.Insert(k)
+		}
+		b.StartTimer()
+		parallel.ForBlocked(len(keys), 0, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				t.Delete(keys[j])
+			}
+		})
+		b.StopTimer()
+	}
+	b.ReportMetric(float64(len(keys)), "elems/op")
+}
+
+func BenchmarkElementsPack(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	t := NewWordTable[SetOps](1 << 18)
+	for _, k := range keys {
+		t.Insert(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Elements()
+	}
+}
+
+func BenchmarkGrowTableInsert(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGrowTable[SetOps](64)
+		parallel.ForBlocked(len(keys), 0, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				g.Insert(keys[j])
+			}
+		})
+	}
+	b.ReportMetric(float64(len(keys)), "elems/op")
+}

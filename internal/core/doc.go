@@ -1,0 +1,42 @@
+// Package core implements the paper's primary contribution: the
+// deterministic phase-concurrent hash table of Shun and Blelloch
+// ("Phase-Concurrent Hash Tables for Determinism", SPAA 2014),
+// linearHash-D in the paper's terminology.
+//
+// The table is an open-addressing linear-probing table with a *priority*
+// ordering: along every probe sequence, priorities are non-increasing
+// (the "ordering invariant", Definition 2 of the paper). Insertions swap
+// higher-priority keys into place and carry the displaced key forward;
+// deletions pull the correct replacement back instead of writing
+// tombstones. Because the layout depends only on the *set* of keys
+// (history-independence, after Blelloch & Golovin, FOCS 2007), the
+// quiescent state of the table — and therefore the output of Elements()
+// — is deterministic: independent of thread scheduling and of the order
+// in which concurrent operations are applied.
+//
+// The table is phase-concurrent, not fully concurrent. With operations
+// O = {insert, delete, find, elements}, the legal concurrent subsets are
+//
+//	S = { {insert}, {delete}, {find, elements} }
+//
+// Operations from different subsets must be separated by a happens-before
+// edge (any barrier: WaitGroup, channel sync, parallel-loop boundary).
+// Mixing phases is a program error; the optional PhaseGuard (see
+// phase.go) detects it at runtime in debug builds.
+//
+// Two element layouts are provided:
+//
+//   - WordTable: elements are single 64-bit words (a bare key, or a
+//     32-bit key packed with a 32-bit value), CASed directly. This is the
+//     fast path and corresponds to the paper's integer experiments. The
+//     paper's 40-core machine CASes 64-bit words; so do we.
+//   - PtrTable: elements are pointers to arbitrary records (e.g. string
+//     keys with values), CASed via atomic.Pointer. This is the paper's
+//     "store a pointer to the structure" fallback for elements wider
+//     than a CAS, used for the trigramSeq-pairInt experiments.
+//
+// Element semantics (hashing, priority order, duplicate-key resolution)
+// are supplied by an Ops implementation; the standard ones live in
+// ops.go. All tables in internal/tables share the same Ops so that
+// cross-table benchmarks compare probe policies, not hash functions.
+package core

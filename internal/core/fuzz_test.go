@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"phasehash/internal/parallel"
+)
+
+// FuzzWordTableOps feeds an arbitrary byte script to the word table,
+// interpreting it as alternating insert/delete/find phases over a small
+// key universe, and cross-checks contents, Count, the ordering
+// invariant, and history independence after every phase.
+//
+// Run with `go test -fuzz FuzzWordTableOps ./internal/core` to explore;
+// the seed corpus runs on every plain `go test`.
+func FuzzWordTableOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{10, 10, 10, 200, 200, 1})
+	f.Add([]byte{})
+	f.Add([]byte{255, 0, 255, 0, 128, 64, 32})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		tab := NewWordTable[SetOps](512)
+		model := map[uint64]bool{}
+		// Consume the script in phases of up to 16 ops.
+		for pos := 0; pos < len(script); {
+			phaseKind := script[pos] % 3
+			pos++
+			end := pos + 16
+			if end > len(script) {
+				end = len(script)
+			}
+			batch := script[pos:end]
+			pos = end
+			keys := make([]uint64, len(batch))
+			for i, b := range batch {
+				keys[i] = uint64(b)%200 + 1
+			}
+			switch phaseKind {
+			case 0:
+				parallel.ForGrain(len(keys), 1, func(i int) { tab.Insert(keys[i]) })
+				for _, k := range keys {
+					model[k] = true
+				}
+			case 1:
+				parallel.ForGrain(len(keys), 1, func(i int) { tab.Delete(keys[i]) })
+				for _, k := range keys {
+					delete(model, k)
+				}
+			default:
+				for _, k := range keys {
+					if _, found := tab.Find(k); found != model[k] {
+						t.Fatalf("Find(%d) = %v, model %v", k, found, model[k])
+					}
+				}
+			}
+			if err := tab.CheckInvariant(); err != nil {
+				t.Fatal(err)
+			}
+			if tab.Count() != len(model) {
+				t.Fatalf("Count %d, model %d", tab.Count(), len(model))
+			}
+		}
+		// History independence: final layout equals a fresh build.
+		ref := NewWordTable[SetOps](512)
+		for k := range model {
+			ref.Insert(k)
+		}
+		a, b := tab.Snapshot(), ref.Snapshot()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("layout differs from fresh build at %d", i)
+			}
+		}
+	})
+}
+
+// FuzzGrowTable drives the resizing table with arbitrary insert streams
+// and checks contents and growth.
+func FuzzGrowTable(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := NewGrowTable[SetOps](64)
+		model := map[uint64]bool{}
+		for i, b := range data {
+			// Spread keys so fuzz inputs of modest length still trigger
+			// growth.
+			k := uint64(b)*251 + uint64(i%7) + 1
+			g.Insert(k)
+			model[k] = true
+		}
+		if g.Count() != len(model) {
+			t.Fatalf("Count %d, model %d", g.Count(), len(model))
+		}
+		for k := range model {
+			if !g.Contains(k) {
+				t.Fatalf("key %d lost", k)
+			}
+		}
+		if err := g.CheckInvariant(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// GrowTable is the paper's Section 4 resizing extension (listed there as
+// an outline and under future work; implemented here): a deterministic
+// phase-concurrent table that grows itself during insert phases.
+//
+// When an insert's probe sequence exceeds a logarithmic threshold the
+// table is declared overfull: an insert takes the allocation lock,
+// publishes a table of twice the size, and subsequent inserts go to the
+// new table. While the old table is non-empty every insert additionally
+// migrates up to two elements from old to new (deleting from the old
+// table keeps its history-independent layout intact, so finds that fall
+// through to the old table still work). Since inserts outnumber the
+// elements left to copy, the old table drains before the new one fills
+// and at most two tables are ever live — exactly the scheme the paper
+// sketches.
+//
+// Phase discipline is unchanged: {insert}, {delete}, {find, elements}.
+// Finds and deletes consult both tables while a migration is in
+// progress. Determinism: at any quiescent point where the old table has
+// fully drained — Elements() forces this by finishing the migration —
+// the layout is the history-independent layout of the key set, so
+// Elements() is deterministic exactly as for WordTable. (Mid-migration,
+// *which* table holds a key depends on scheduling; the paper's outline
+// shares this property.)
+type GrowTable[O Ops] struct {
+	ops   O
+	state atomic.Pointer[growState[O]]
+	count atomic.Int64 // total Insert calls (drives growth; see Insert)
+	mu    sync.Mutex   // serializes grow operations
+}
+
+type growState[O Ops] struct {
+	table  *WordTable[O] // receives all new inserts
+	old    *WordTable[O] // draining; nil when no migration is active
+	cursor atomic.Int64  // next old-table cell to scan for migration
+	// inflight counts inserts currently targeting table. The counter
+	// belongs to the *table*, not the state: states published by retire
+	// and FinishMigration keep the same table and must share its
+	// counter, or stragglers from a pre-retire state handle would
+	// escape the next grow's migration gate.
+	inflight *atomic.Int64
+	// oldInflight is the old table's insert counter: migration (deletes
+	// on the old table) must wait until straggler inserts that entered
+	// before the grow have drained, or the old table would see inserts
+	// and deletes in the same phase.
+	oldInflight *atomic.Int64
+}
+
+// migrationQuota is how many old-table elements each insert moves; > 1
+// guarantees the old table empties before the new one fills.
+const migrationQuota = 2
+
+// minGrowSize is the smallest backing array; headroom between the
+// growth threshold (half full) and full keeps straggler inserts safe.
+const minGrowSize = 64
+
+// NewGrowTable returns a growing table with the given initial capacity.
+func NewGrowTable[O Ops](initial int) *GrowTable[O] {
+	if initial < minGrowSize {
+		initial = minGrowSize
+	}
+	g := &GrowTable[O]{}
+	st := &growState[O]{table: NewWordTable[O](initial), inflight: new(atomic.Int64)}
+	g.state.Store(st)
+	return g
+}
+
+// probeLimit bounds how far an insert probes before concluding the
+// table needs to grow: a safety net behind the count threshold (probe
+// sequences this long do not occur below 50% load except with
+// adversarial hash functions).
+func probeLimit(size int) int {
+	l := 0
+	for s := size; s > 1; s >>= 1 {
+		l++
+	}
+	limit := 8 * (l + 1)
+	if limit > size/2 {
+		limit = size / 2
+	}
+	return limit
+}
+
+// Insert adds element v (insert phase only), growing as needed. It
+// reports whether the targeted table's key count grew; note that during
+// a migration a key resident in the old table is counted as new by the
+// new table — duplicates across the two tables merge when the old table
+// drains, so quiescent contents are exact.
+//
+// Growth is triggered by a deterministic threshold on the total number
+// of Insert calls (the table doubles when calls reach half its
+// capacity): the crossing happens at the same call count on every
+// schedule, so the final table size — and therefore the quiescent
+// layout — is deterministic. (Counting calls rather than distinct keys
+// over-provisions duplicate-heavy workloads; distinct-key counts are
+// not schedule-independent during migration.) The probe-limit abort
+// inside InsertLimited is a safety net only.
+func (g *GrowTable[O]) Insert(v uint64) bool {
+	for {
+		st := g.state.Load()
+		st.inflight.Add(1)
+		if g.state.Load() != st {
+			// Lost a race with a grow; re-enter through the new state.
+			st.inflight.Add(-1)
+			continue
+		}
+		if st.old != nil {
+			g.migrate(st, migrationQuota)
+		}
+		added, ok := st.table.InsertLimited(v, probeLimit(st.table.Size()))
+		st.inflight.Add(-1)
+		if ok {
+			if int(g.count.Add(1)) >= st.table.Size()/2 {
+				g.grow(st)
+			}
+			return added
+		}
+		g.grow(st)
+	}
+}
+
+// migrate moves up to quota elements from st.old into st.table, and
+// retires the old table once it is empty.
+func (g *GrowTable[O]) migrate(st *growState[O], quota int) {
+	if st.oldInflight != nil && st.oldInflight.Load() != 0 {
+		// Straggler inserts from before the grow are still landing in
+		// the old table; deleting now would mix phases on it. Skip —
+		// a later insert will migrate.
+		return
+	}
+	old := st.old
+	size := int64(old.Size())
+	moved := 0
+	for moved < quota {
+		i := st.cursor.Add(1) - 1
+		if i >= size {
+			// A full sweep is done; if leftovers remain (back-shifted
+			// behind the cursor by concurrent migration deletes), wrap
+			// the cursor and sweep again.
+			if old.CountAtomic() == 0 {
+				g.retire(st)
+				return
+			}
+			st.cursor.Store(0)
+			continue
+		}
+		e := old.load(int(i))
+		if e == Empty {
+			continue
+		}
+		// Delete from old (a delete-phase op on the old table, which no
+		// longer receives inserts), then insert into the new table.
+		if old.Delete(e) {
+			st.table.Insert(e)
+			moved++
+		}
+	}
+}
+
+// retire publishes a state without the drained old table. It must not
+// block: the caller holds the state's inflight counter, and a grower
+// holding the allocation lock may be spin-waiting on exactly that
+// counter — TryLock breaks the cycle (a busy lock means someone else is
+// already reorganizing).
+func (g *GrowTable[O]) retire(st *growState[O]) {
+	if !g.mu.TryLock() {
+		return
+	}
+	defer g.mu.Unlock()
+	cur := g.state.Load()
+	if cur == st && st.old != nil && st.old.CountAtomic() == 0 {
+		g.state.Store(&growState[O]{table: st.table, inflight: st.inflight})
+	}
+}
+
+// grow doubles the table. Only one goroutine allocates; the others
+// observe the new state and retry (the paper's short allocation lock).
+func (g *GrowTable[O]) grow(st *growState[O]) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cur := g.state.Load()
+	if cur != st {
+		return // someone else already grew
+	}
+	// Finish any in-flight migration first so at most two tables exist.
+	if cur.old != nil {
+		g.drainLocked(cur)
+	}
+	next := &growState[O]{
+		table:       NewWordTable[O](2 * cur.table.Size()),
+		old:         cur.table,
+		inflight:    new(atomic.Int64),
+		oldInflight: cur.inflight,
+	}
+	g.state.Store(next)
+}
+
+// drainLocked empties st.old into st.table (allocation lock held).
+func (g *GrowTable[O]) drainLocked(st *growState[O]) {
+	// Wait out straggler inserts into the old table (lock-free, finite).
+	if st.oldInflight != nil {
+		for st.oldInflight.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+	old := st.old
+	for old.CountAtomic() > 0 {
+		for i := 0; i < old.Size(); i++ {
+			e := old.load(i)
+			if e == Empty {
+				continue
+			}
+			if old.Delete(e) {
+				st.table.Insert(e)
+			}
+		}
+	}
+	// st.old is intentionally left set: concurrent inserters still
+	// holding this state read st.old locklessly, and their migrate()
+	// calls are harmless no-ops on the now-empty table. Callers publish
+	// a fresh state without the old table instead.
+}
+
+// FinishMigration drains any in-progress migration (callers must be
+// quiescent). Elements and Snapshot call it implicitly.
+func (g *GrowTable[O]) FinishMigration() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.state.Load()
+	if st.old != nil {
+		g.drainLocked(st)
+		g.state.Store(&growState[O]{table: st.table, inflight: st.inflight})
+	}
+}
+
+// Find returns the element under v's key (find/elements phase only).
+func (g *GrowTable[O]) Find(v uint64) (uint64, bool) {
+	st := g.state.Load()
+	if e, ok := st.table.Find(v); ok {
+		return e, ok
+	}
+	if st.old != nil {
+		return st.old.Find(v)
+	}
+	return Empty, false
+}
+
+// Contains is Find without the element.
+func (g *GrowTable[O]) Contains(v uint64) bool {
+	_, ok := g.Find(v)
+	return ok
+}
+
+// Delete removes v's key (delete phase only). During a migration the
+// key may transiently exist in both tables (an insert of a key that was
+// still awaiting migration), so both are deleted from.
+func (g *GrowTable[O]) Delete(v uint64) bool {
+	st := g.state.Load()
+	deleted := st.table.Delete(v)
+	if st.old != nil {
+		if st.old.Delete(v) {
+			deleted = true
+		}
+	}
+	return deleted
+}
+
+// Elements finishes any migration and returns the deterministic packed
+// contents (quiescent callers only).
+func (g *GrowTable[O]) Elements() []uint64 {
+	g.FinishMigration()
+	return g.state.Load().table.Elements()
+}
+
+// Count returns the stored key count. Like Elements it requires
+// quiescence and finishes any migration first (keys straddling the two
+// tables merge during the drain, so counting live tables separately
+// would over-report).
+func (g *GrowTable[O]) Count() int {
+	g.FinishMigration()
+	return g.state.Load().table.Count()
+}
+
+// Size returns the current main table's cell count.
+func (g *GrowTable[O]) Size() int { return g.state.Load().table.Size() }
+
+// CheckInvariant verifies the ordering invariant of both live tables.
+func (g *GrowTable[O]) CheckInvariant() error {
+	st := g.state.Load()
+	if err := st.table.CheckInvariant(); err != nil {
+		return err
+	}
+	if st.old != nil {
+		return st.old.CheckInvariant()
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"phasehash/internal/hashx"
+	"phasehash/internal/parallel"
+)
+
+func TestGrowTableSequentialGrowth(t *testing.T) {
+	g := NewGrowTable[SetOps](8)
+	n := 10000
+	for k := uint64(1); k <= uint64(n); k++ {
+		g.Insert(k)
+	}
+	if g.Size() < n {
+		t.Fatalf("table did not grow: size %d for %d keys", g.Size(), n)
+	}
+	if got := g.Count(); got != n {
+		t.Fatalf("Count = %d, want %d", got, n)
+	}
+	for k := uint64(1); k <= uint64(n); k++ {
+		if !g.Contains(k) {
+			t.Fatalf("key %d lost during growth", k)
+		}
+	}
+	if err := g.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowTableConcurrentInserts(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		g := NewGrowTable[SetOps](16)
+		n := 50000
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = hashx.At(uint64(trial), i)%uint64(n) + 1
+		}
+		distinct := map[uint64]bool{}
+		for _, k := range keys {
+			distinct[k] = true
+		}
+		parallel.ForGrain(n, 1, func(i int) { g.Insert(keys[i]) })
+		if got := g.Count(); got != len(distinct) {
+			t.Fatalf("trial %d: Count = %d, want %d", trial, got, len(distinct))
+		}
+		for k := range distinct {
+			if !g.Contains(k) {
+				t.Fatalf("trial %d: key %d lost", trial, k)
+			}
+		}
+		if err := g.CheckInvariant(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGrowTableElementsDeterministicAfterDrain(t *testing.T) {
+	build := func() []uint64 {
+		g := NewGrowTable[SetOps](16)
+		parallel.ForGrain(20000, 1, func(i int) {
+			g.Insert(hashx.At(3, i)%40000 + 1)
+		})
+		return g.Elements()
+	}
+	ref := build()
+	for trial := 0; trial < 4; trial++ {
+		got := build()
+		if len(got) != len(ref) {
+			t.Fatalf("length %d vs %d", len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: Elements differ at %d", trial, i)
+			}
+		}
+	}
+	// And it matches a fixed-size WordTable's layout for the same keys
+	// and final size.
+	g := NewGrowTable[SetOps](16)
+	parallel.ForGrain(20000, 1, func(i int) { g.Insert(hashx.At(3, i)%40000 + 1) })
+	g.FinishMigration()
+	w := NewWordTable[SetOps](g.Size())
+	parallel.ForGrain(20000, 1, func(i int) { w.Insert(hashx.At(3, i)%40000 + 1) })
+	a, b := g.Elements(), w.Elements()
+	if len(a) != len(b) {
+		t.Fatal("grow table contents differ from fixed table")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("grow vs fixed layout differs at %d", i)
+		}
+	}
+}
+
+func TestGrowTableFindDuringMigration(t *testing.T) {
+	// Force a state where migration is mid-flight, then run a find
+	// phase: every inserted key must be visible in one of the tables.
+	g := NewGrowTable[SetOps](8)
+	var inserted []uint64
+	for k := uint64(1); k <= 2000; k++ {
+		g.Insert(k * 7)
+		inserted = append(inserted, k*7)
+	}
+	// Do not call FinishMigration: st.old may be non-nil right now.
+	for _, k := range inserted {
+		if !g.Contains(k) {
+			t.Fatalf("key %d invisible mid-migration", k)
+		}
+	}
+	if g.Contains(3) {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestGrowTableDelete(t *testing.T) {
+	g := NewGrowTable[SetOps](8)
+	for k := uint64(1); k <= 3000; k++ {
+		g.Insert(k)
+	}
+	// Delete phase (may span both tables mid-migration).
+	parallel.ForGrain(1500, 1, func(i int) {
+		if !g.Delete(uint64(i)*2 + 2) { // even keys
+			t.Errorf("Delete(%d) failed", i*2+2)
+		}
+	})
+	if got := g.Count(); got != 1500 {
+		t.Fatalf("Count = %d, want 1500", got)
+	}
+	for k := uint64(1); k <= 3000; k += 2 {
+		if !g.Contains(k) {
+			t.Fatalf("odd key %d lost", k)
+		}
+	}
+	if err := g.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertLimited(t *testing.T) {
+	// With the identity hash, fill a run of higher-priority keys that
+	// all hash to cell 10, and verify the limit trips for a low-priority
+	// key without modifying the table.
+	tab := NewWordTable[IdentOps](64)
+	for k := uint64(2); k <= 11; k++ {
+		tab.Insert(k*64 + 10) // all home 10; cells 10..19 occupied
+	}
+	snap := tab.Snapshot()
+	added, ok := tab.InsertLimited(74, 5) // home 10, lowest priority of the cluster
+	if ok {
+		t.Fatalf("InsertLimited succeeded past limit (added=%v)", added)
+	}
+	for i, c := range tab.Snapshot() {
+		if c != snap[i] {
+			t.Fatal("aborted insert modified the table")
+		}
+	}
+	added, ok = tab.InsertLimited(74, 30)
+	if !ok || !added {
+		t.Fatal("InsertLimited failed within limit")
+	}
+	if !tab.Contains(74) {
+		t.Fatal("key lost")
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"phasehash/internal/parallel"
+)
+
+// PtrOps defines element semantics for pointer tables, mirroring Ops for
+// records too wide for a single-word CAS. Arguments are never nil.
+type PtrOps[T any] interface {
+	// Hash returns the full 64-bit hash of e's key.
+	Hash(e *T) uint64
+	// Cmp orders elements by key priority (0 iff keys are equal).
+	Cmp(a, b *T) int
+	// Merge resolves a duplicate-key insertion; it must be commutative
+	// and associative in the element it selects or builds.
+	Merge(cur, new *T) *T
+}
+
+// PtrTable is the deterministic phase-concurrent hash table over
+// pointer-stored elements — the paper's indirection path for key-value
+// records wider than a CAS (it stores and CASes one pointer per cell).
+// Algorithms are identical to WordTable's; only the cell type differs.
+//
+// Determinism caveat: the *contents* of the table (the sequence of
+// records produced by Elements) are deterministic; the pointer bits
+// themselves of course vary run to run.
+type PtrTable[T any, O PtrOps[T]] struct {
+	ops   O
+	cells []atomic.Pointer[T]
+	mask  int
+}
+
+// NewPtrTable returns a pointer table with at least size cells, rounded
+// up to a power of two.
+func NewPtrTable[T any, O PtrOps[T]](size int) *PtrTable[T, O] {
+	if size < 1 {
+		size = 1
+	}
+	m := 1
+	for m < size {
+		m <<= 1
+	}
+	return &PtrTable[T, O]{cells: make([]atomic.Pointer[T], m), mask: m - 1}
+}
+
+// Size returns the capacity (number of cells).
+func (t *PtrTable[T, O]) Size() int { return len(t.cells) }
+
+func (t *PtrTable[T, O]) load(p int) *T {
+	return t.cells[p&t.mask].Load()
+}
+
+func (t *PtrTable[T, O]) cas(p int, old, new *T) bool {
+	return t.cells[p&t.mask].CompareAndSwap(old, new)
+}
+
+// lift is WordTable.lift: map hash h of the element at unnormalized
+// position p into p's frame.
+func (t *PtrTable[T, O]) lift(h uint64, p int) int {
+	return p - ((p - int(h)) & t.mask)
+}
+
+func (t *PtrTable[T, O]) home(e *T) int {
+	return int(t.ops.Hash(e)) & t.mask
+}
+
+// Insert adds element v (insert phase only); on an equal key the two
+// elements are resolved with Ops.Merge. Reports whether the element count
+// grew. v must be non-nil and must not be mutated afterwards.
+func (t *PtrTable[T, O]) Insert(v *T) bool {
+	if v == nil {
+		panic("core: cannot insert nil")
+	}
+	i := t.home(v)
+	limit := i + len(t.cells)
+	for {
+		if i >= limit {
+			panic(fmt.Sprintf("core: PtrTable full (size %d)", len(t.cells)))
+		}
+		c := t.load(i)
+		if c == nil {
+			if t.cas(i, nil, v) {
+				return true
+			}
+			continue
+		}
+		cmp := t.ops.Cmp(c, v)
+		switch {
+		case cmp == 0:
+			merged := t.ops.Merge(c, v)
+			if merged == c || t.cas(i, c, merged) {
+				return false
+			}
+		case cmp > 0:
+			i++
+		default:
+			if t.cas(i, c, v) {
+				v = c
+				i++
+			}
+		}
+	}
+}
+
+// Find returns the stored element with v's key (find/elements phase
+// only). Only v's key fields need to be populated.
+func (t *PtrTable[T, O]) Find(v *T) (*T, bool) {
+	i := t.home(v)
+	for {
+		c := t.load(i)
+		if c == nil {
+			return nil, false
+		}
+		cmp := t.ops.Cmp(v, c)
+		if cmp > 0 {
+			return nil, false
+		}
+		if cmp == 0 {
+			return c, true
+		}
+		i++
+	}
+}
+
+// Delete removes the element with v's key (delete phase only).
+func (t *PtrTable[T, O]) Delete(v *T) bool {
+	i := t.home(v)
+	k := i
+	for {
+		c := t.load(k)
+		if c == nil || t.ops.Cmp(v, c) >= 0 {
+			break
+		}
+		k++
+	}
+	deleted := false
+	for k >= i {
+		c := t.load(k)
+		if c == nil || t.ops.Cmp(v, c) != 0 {
+			k--
+			continue
+		}
+		j, w := t.findReplacement(k)
+		if t.cas(k, c, w) {
+			deleted = true
+			if w == nil {
+				return true
+			}
+			v = w
+			k = j
+			i = t.lift(t.ops.Hash(w)&uint64(t.mask), j)
+		} else {
+			k--
+		}
+	}
+	return deleted
+}
+
+func (t *PtrTable[T, O]) findReplacement(i int) (int, *T) {
+	j := i
+	var w *T
+	for {
+		j++
+		w = t.load(j)
+		if w == nil || t.lift(t.ops.Hash(w)&uint64(t.mask), j) <= i {
+			break
+		}
+	}
+	for k := j - 1; k > i; k-- {
+		w2 := t.load(k)
+		if w2 == nil || t.lift(t.ops.Hash(w2)&uint64(t.mask), k) <= i {
+			w = w2
+			j = k
+		}
+	}
+	return j, w
+}
+
+// Elements packs the stored elements in table order; deterministic for a
+// given element set (find/elements phase only).
+func (t *PtrTable[T, O]) Elements() []*T {
+	n := len(t.cells)
+	ptrs := make([]*T, n)
+	parallel.For(n, func(i int) { ptrs[i] = t.cells[i].Load() })
+	return parallel.Pack(ptrs, func(i int) bool { return ptrs[i] != nil })
+}
+
+// Count returns the number of stored elements (find/elements phase only).
+func (t *PtrTable[T, O]) Count() int {
+	return parallel.Count(len(t.cells), func(i int) bool { return t.cells[i].Load() != nil })
+}
+
+// Clear resets the table (callers must be quiescent).
+func (t *PtrTable[T, O]) Clear() {
+	parallel.For(len(t.cells), func(i int) { t.cells[i].Store(nil) })
+}
+
+// CheckInvariant verifies the ordering invariant at quiescence; see
+// WordTable.CheckInvariant.
+func (t *PtrTable[T, O]) CheckInvariant() error {
+	m := len(t.cells)
+	for j := 0; j < m; j++ {
+		e := t.cells[j].Load()
+		if e == nil {
+			continue
+		}
+		h := t.home(e)
+		dist := (j - h) & t.mask
+		for d := 1; d <= dist; d++ {
+			k := (h + d - 1) & t.mask
+			c := t.cells[k].Load()
+			if c == nil {
+				return fmt.Errorf("core: hole at %d inside probe path of element at %d (home %d)", k, j, h)
+			}
+			if t.ops.Cmp(c, e) < 0 {
+				return fmt.Errorf("core: priority inversion at %d for element at %d (home %d)", k, j, h)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package core
+
+// ProbeStats summarizes the probe-distance distribution of a word
+// table's current layout: how far each element sits from its home cell.
+// Because the layout is history-independent, the distribution is a pure
+// function of the key set — it characterizes the *table*, not the
+// insertion history — and it explains the Figure 5 load-factor curves
+// (expected probe distance grows as 1/(1-load)).
+type ProbeStats struct {
+	Elements  int
+	Load      float64
+	MaxProbe  int
+	MeanProbe float64
+	// Histogram[d] counts elements at probe distance d, for d < len.
+	Histogram []int
+	// Clusters is the number of maximal runs of occupied cells;
+	// MaxCluster the longest run.
+	Clusters   int
+	MaxCluster int
+}
+
+// Stats computes the probe statistics (quiescent callers only).
+func (t *WordTable[O]) Stats() ProbeStats {
+	const histSize = 64
+	st := ProbeStats{Histogram: make([]int, histSize)}
+	m := len(t.cells)
+	sum := 0
+	for j, e := range t.cells {
+		if e == Empty {
+			continue
+		}
+		st.Elements++
+		d := (j - t.home(e)) & t.mask
+		sum += d
+		if d > st.MaxProbe {
+			st.MaxProbe = d
+		}
+		if d < histSize {
+			st.Histogram[d]++
+		}
+	}
+	st.Load = float64(st.Elements) / float64(m)
+	if st.Elements > 0 {
+		st.MeanProbe = float64(sum) / float64(st.Elements)
+	}
+	// Cluster structure: maximal circular runs of occupied cells. Find
+	// an empty anchor and scan one lap from there so wraparound runs
+	// count once.
+	if st.Elements == m {
+		st.Clusters = 1
+		st.MaxCluster = m
+		return st
+	}
+	anchor := 0
+	for t.cells[anchor] != Empty {
+		anchor++
+	}
+	run := 0
+	for d := 1; d <= m; d++ {
+		j := (anchor + d) & t.mask
+		if t.cells[j] != Empty {
+			run++
+			continue
+		}
+		if run > 0 {
+			st.Clusters++
+			if run > st.MaxCluster {
+				st.MaxCluster = run
+			}
+			run = 0
+		}
+	}
+	return st
+}

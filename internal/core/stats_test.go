@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"phasehash/internal/hashx"
+)
+
+func TestStatsEmptyTable(t *testing.T) {
+	st := NewWordTable[SetOps](64).Stats()
+	if st.Elements != 0 || st.Clusters != 0 || st.MaxProbe != 0 || st.Load != 0 {
+		t.Fatalf("empty table stats: %+v", st)
+	}
+}
+
+func TestStatsAdversarialCluster(t *testing.T) {
+	tab := NewWordTable[IdentOps](16)
+	// One cluster of 4, all homed at 6, wrapping nothing.
+	for _, k := range []uint64{6, 22, 38, 54} {
+		tab.Insert(k)
+	}
+	st := tab.Stats()
+	if st.Elements != 4 || st.Clusters != 1 || st.MaxCluster != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Probe distances are 0..3 (descending priority run).
+	if st.MaxProbe != 3 {
+		t.Fatalf("MaxProbe = %d, want 3", st.MaxProbe)
+	}
+	if st.Histogram[0] != 1 || st.Histogram[3] != 1 {
+		t.Fatalf("histogram: %v", st.Histogram[:5])
+	}
+	if st.MeanProbe != 1.5 {
+		t.Fatalf("MeanProbe = %g, want 1.5", st.MeanProbe)
+	}
+}
+
+func TestStatsWraparoundCluster(t *testing.T) {
+	tab := NewWordTable[IdentOps](8)
+	// Home 6, four elements: cluster occupies 6,7,0,1 (wraps).
+	for _, k := range []uint64{6, 14, 22, 30} {
+		tab.Insert(k)
+	}
+	st := tab.Stats()
+	if st.Clusters != 1 || st.MaxCluster != 4 {
+		t.Fatalf("wraparound cluster not merged: %+v", st)
+	}
+}
+
+func TestStatsTwoClusters(t *testing.T) {
+	tab := NewWordTable[IdentOps](16)
+	tab.Insert(2)
+	tab.Insert(3)
+	tab.Insert(9)
+	st := tab.Stats()
+	if st.Clusters != 2 || st.MaxCluster != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestStatsFullishTable(t *testing.T) {
+	tab := NewWordTable[SetOps](1 << 10)
+	n := 900
+	for i := 0; i < n; i++ {
+		tab.Insert(hashx.At(5, i)%100000 + 1)
+	}
+	st := tab.Stats()
+	if st.Elements != tab.Count() {
+		t.Fatalf("Elements %d != Count %d", st.Elements, tab.Count())
+	}
+	if st.Load < 0.5 || st.Load > 0.9 {
+		t.Fatalf("Load = %g", st.Load)
+	}
+	// Mean probe at high load must exceed the low-load mean.
+	low := NewWordTable[SetOps](1 << 13)
+	for i := 0; i < n; i++ {
+		low.Insert(hashx.At(5, i)%100000 + 1)
+	}
+	if low.Stats().MeanProbe >= st.MeanProbe {
+		t.Fatalf("mean probe did not grow with load: %g vs %g",
+			low.Stats().MeanProbe, st.MeanProbe)
+	}
+	// Histogram sums to elements not beyond MaxProbe.
+	sum := 0
+	for _, c := range st.Histogram {
+		sum += c
+	}
+	if sum > st.Elements {
+		t.Fatalf("histogram overcounts: %d > %d", sum, st.Elements)
+	}
+}

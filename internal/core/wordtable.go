@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"phasehash/internal/parallel"
+)
+
+// WordTable is the deterministic phase-concurrent hash table
+// (linearHash-D) over single-word elements. See the package comment for
+// the phase-concurrency contract. The zero value is not usable; construct
+// with NewWordTable.
+//
+// All three per-element operations are lock-free and non-blocking; the
+// paper proves termination bounds of O(p^2·m) CAS attempts for p
+// concurrent inserts and O(p·m^3) steps for p concurrent deletes on a
+// table of m cells.
+type WordTable[O Ops] struct {
+	ops   O
+	cells []uint64
+	mask  int // len(cells)-1; len is a power of two
+}
+
+// NewWordTable returns a table with capacity for at least size elements;
+// the backing array is the next power of two >= size. The paper's
+// algorithms require the table never to become completely full; inserting
+// more than len(cells)-1 elements panics.
+func NewWordTable[O Ops](size int) *WordTable[O] {
+	if size < 1 {
+		size = 1
+	}
+	m := 1
+	for m < size {
+		m <<= 1
+	}
+	return &WordTable[O]{cells: make([]uint64, m), mask: m - 1}
+}
+
+// Size returns the capacity (number of cells) of the table.
+func (t *WordTable[O]) Size() int { return len(t.cells) }
+
+// load atomically reads the cell at unnormalized position p.
+func (t *WordTable[O]) load(p int) uint64 {
+	return atomic.LoadUint64(&t.cells[p&t.mask])
+}
+
+// cas CASes the cell at unnormalized position p.
+func (t *WordTable[O]) cas(p int, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&t.cells[p&t.mask], old, new)
+}
+
+// lift maps the hash h (in [0, m)) of the element stored at unnormalized
+// position p to the same unnormalized frame: the unique q <= p with
+// q ≡ h (mod m) and p-q < m. Probe positions in Delete grow without
+// wrapping, so position comparisons ("does this element hash at or before
+// that cell?") become plain integer comparisons after lifting.
+func (t *WordTable[O]) lift(h uint64, p int) int {
+	return p - ((p - int(h)) & t.mask)
+}
+
+// home returns the (normalized) probe origin of element e.
+func (t *WordTable[O]) home(e uint64) int {
+	return int(t.ops.Hash(e)) & t.mask
+}
+
+// Insert adds element v to the table (insert phase only). If an element
+// with equal key is already present the two are resolved with Ops.Merge
+// and the table size does not change. It reports whether the table's
+// element count grew by one; the *count* of true results over a phase is
+// deterministic, though which duplicate insert reports true is not.
+//
+// This is Figure 1's INSERT: walk the probe sequence; past higher-priority
+// elements, step forward; on a lower-priority element, CAS ourselves in
+// and carry the displaced element forward; on an equal key, merge.
+func (t *WordTable[O]) Insert(v uint64) bool {
+	if v == Empty {
+		panic("core: cannot insert the reserved empty element")
+	}
+	i := t.home(v)
+	limit := i + len(t.cells)
+	for {
+		if i >= limit {
+			panic(fmt.Sprintf("core: WordTable full (size %d)", len(t.cells)))
+		}
+		c := t.load(i)
+		if c == Empty {
+			if t.cas(i, Empty, v) {
+				return true
+			}
+			continue // re-read the cell
+		}
+		cmp := t.ops.Cmp(c, v)
+		switch {
+		case cmp == 0:
+			// Equal keys: resolve deterministically. Another insert may
+			// concurrently raise this cell's priority, so on CAS failure
+			// fall through to re-read and re-compare.
+			merged := t.ops.Merge(c, v)
+			if merged == c || t.cas(i, c, merged) {
+				return false
+			}
+		case cmp > 0: // cell has higher priority; keep probing
+			i++
+		default: // v has higher priority; swap in and carry c forward
+			if t.cas(i, c, v) {
+				v = c
+				i++
+				// The displaced element hashes at or before i-1, so its
+				// remaining probe distance is still bounded by the
+				// cluster length; keep the same safety limit.
+			}
+		}
+	}
+}
+
+// InsertLimited is Insert with an overfull detector for the resizing
+// extension (GrowTable): if the probe sequence exceeds limit cells
+// before the insert has modified the table, it aborts and returns
+// ok=false so the caller can grow. Once the insert has swapped anything
+// in, it runs to completion regardless (another insert will trip the
+// detector soon enough). Returns (added, ok).
+func (t *WordTable[O]) InsertLimited(v uint64, limit int) (added, ok bool) {
+	if v == Empty {
+		panic("core: cannot insert the reserved empty element")
+	}
+	start := t.home(v)
+	i := start
+	committed := false
+	hardLimit := start + len(t.cells)
+	for {
+		if !committed && i-start > limit {
+			return false, false
+		}
+		if i >= hardLimit {
+			panic("core: WordTable full")
+		}
+		c := t.load(i)
+		if c == Empty {
+			if t.cas(i, Empty, v) {
+				return true, true
+			}
+			continue
+		}
+		cmp := t.ops.Cmp(c, v)
+		switch {
+		case cmp == 0:
+			merged := t.ops.Merge(c, v)
+			if merged == c || t.cas(i, c, merged) {
+				return false, true
+			}
+		case cmp > 0:
+			i++
+		default:
+			if t.cas(i, c, v) {
+				committed = true
+				v = c
+				i++
+			}
+		}
+	}
+}
+
+// Find reports the element stored under v's key (find/elements phase
+// only; also safe during quiescence). v's value part, if any, is ignored:
+// only the key participates. This is Figure 1's FIND: probe forward while
+// cells hold strictly higher-priority keys; the ordering invariant makes
+// the first cell with priority <= v's the only place v can live.
+func (t *WordTable[O]) Find(v uint64) (uint64, bool) {
+	i := t.home(v)
+	for {
+		c := t.load(i)
+		if c == Empty {
+			return Empty, false
+		}
+		cmp := t.ops.Cmp(v, c)
+		if cmp > 0 {
+			return Empty, false
+		}
+		if cmp == 0 {
+			return c, true
+		}
+		i++
+	}
+}
+
+// Contains is Find without returning the element.
+func (t *WordTable[O]) Contains(v uint64) bool {
+	_, ok := t.Find(v)
+	return ok
+}
+
+// Delete removes the element with v's key (delete phase only) and
+// reports whether the phase's deletes removed it by the time this call
+// completed its work. This is Figure 1's DELETE: find the victim, have
+// FindReplacement select the next element in the probe sequence that may
+// legally move back into the hole, CAS it in, and recursively delete the
+// copy it left behind.
+func (t *WordTable[O]) Delete(v uint64) bool {
+	i := t.home(v)
+	// Find v or the first element past it in the probe sequence
+	// (concurrent deletes may have shifted v back, never forward).
+	k := i
+	for {
+		c := t.load(k)
+		if c == Empty || t.ops.Cmp(v, c) >= 0 {
+			break
+		}
+		k++
+	}
+	deleted := false
+	for k >= i {
+		c := t.load(k)
+		if c == Empty || t.ops.Cmp(v, c) != 0 {
+			k--
+			continue
+		}
+		j, w := t.findReplacement(k)
+		if t.cas(k, c, w) {
+			deleted = true
+			if w == Empty {
+				return true
+			}
+			// There are now two copies of w; we own deleting one.
+			v = w
+			k = j
+			i = t.lift(t.ops.Hash(w)&uint64(t.mask), j)
+		} else {
+			// v was deleted or moved down by a concurrent delete.
+			k--
+		}
+	}
+	return deleted
+}
+
+// findReplacement implements Figure 1's FINDREPLACEMENT: given the
+// unnormalized position i of the element being deleted, return the
+// position j and value w of the element that should fill the hole — the
+// closest following element that hashes at or before i — or (j, Empty)
+// when the cluster ends first.
+//
+// The upward scan finds a stopping point; the downward scan re-reads the
+// interval because concurrent deletes can only move elements to lower
+// positions, so the true replacement can have shifted below the stopping
+// point but never above it. (This is the paper's pair of "redundant
+// looking" loops; both are required for correctness.)
+func (t *WordTable[O]) findReplacement(i int) (int, uint64) {
+	j := i
+	var w uint64
+	for {
+		j++
+		w = t.load(j)
+		if w == Empty || t.lift(t.ops.Hash(w)&uint64(t.mask), j) <= i {
+			break
+		}
+	}
+	for k := j - 1; k > i; k-- {
+		w2 := t.load(k)
+		if w2 == Empty || t.lift(t.ops.Hash(w2)&uint64(t.mask), k) <= i {
+			w = w2
+			j = k
+		}
+	}
+	return j, w
+}
+
+// Elements packs the non-empty cells into a fresh slice in table order
+// (find/elements phase only). Because the cell layout is
+// history-independent, the result is identical across runs and thread
+// counts for the same element set — the paper's deterministic ELEMENTS().
+func (t *WordTable[O]) Elements() []uint64 {
+	return parallel.Pack(t.cells, func(i int) bool { return t.cells[i] != Empty })
+}
+
+// ElementsInto packs the non-empty cells into dst (which must have
+// capacity len(dst) >= Count()) and returns the number packed.
+func (t *WordTable[O]) ElementsInto(dst []uint64) int {
+	return parallel.PackInto(dst, t.cells, func(i int) bool { return t.cells[i] != Empty })
+}
+
+// Count returns the number of elements currently stored (parallel scan;
+// find/elements phase only).
+func (t *WordTable[O]) Count() int {
+	return parallel.Count(len(t.cells), func(i int) bool { return t.cells[i] != Empty })
+}
+
+// CountAtomic is Count with atomic cell reads: safe to call while
+// another phase is mutating the table (used by the resizing extension's
+// migration bookkeeping; the result is a racy snapshot).
+func (t *WordTable[O]) CountAtomic() int {
+	n := 0
+	for i := range t.cells {
+		if atomic.LoadUint64(&t.cells[i]) != Empty {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach calls fn for every stored element in table order (sequential;
+// find/elements phase only).
+func (t *WordTable[O]) ForEach(fn func(e uint64)) {
+	for _, c := range t.cells {
+		if c != Empty {
+			fn(c)
+		}
+	}
+}
+
+// Clear resets every cell to Empty (a phase barrier by itself: callers
+// must not run it concurrently with anything).
+func (t *WordTable[O]) Clear() {
+	parallel.For(len(t.cells), func(i int) { t.cells[i] = Empty })
+}
+
+// CheckInvariant walks the table and verifies the ordering invariant
+// (Definition 2): for every stored element at position j with probe
+// origin i, every cell in [i, j) holds an element of priority >= the
+// element's. It returns nil if the invariant holds. Quiescent use only;
+// exported for tests and for the fuzzing harness.
+func (t *WordTable[O]) CheckInvariant() error {
+	m := len(t.cells)
+	for j := 0; j < m; j++ {
+		e := t.cells[j]
+		if e == Empty {
+			continue
+		}
+		h := t.home(e)
+		// Walk backward from j to h (mod m); every cell on the way must
+		// be non-empty and of higher-or-equal priority.
+		dist := (j - h) & t.mask
+		for d := 1; d <= dist; d++ {
+			k := (h + d - 1) & t.mask
+			c := t.cells[k]
+			if c == Empty {
+				return fmt.Errorf("core: hole at %d inside probe path of %#x (home %d, at %d)", k, e, h, j)
+			}
+			if t.ops.Cmp(c, e) < 0 {
+				return fmt.Errorf("core: priority inversion: cell %d holds %#x with lower priority than %#x at %d (home %d)", k, c, e, j, h)
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot copies the raw cell array (quiescent use only). Tests use it
+// to compare layouts byte-for-byte across schedules.
+func (t *WordTable[O]) Snapshot() []uint64 {
+	out := make([]uint64, len(t.cells))
+	copy(out, t.cells)
+	return out
+}

@@ -1,0 +1,451 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"phasehash/internal/hashx"
+	"phasehash/internal/parallel"
+)
+
+// buildSerial inserts keys one at a time (single goroutine).
+func buildSerial(keys []uint64, size int) *WordTable[SetOps] {
+	t := NewWordTable[SetOps](size)
+	for _, k := range keys {
+		t.Insert(k)
+	}
+	return t
+}
+
+// buildParallel inserts keys with a parallel loop.
+func buildParallel(keys []uint64, size int) *WordTable[SetOps] {
+	t := NewWordTable[SetOps](size)
+	parallel.ForGrain(len(keys), 1, func(i int) { t.Insert(keys[i]) })
+	return t
+}
+
+func randKeys(n int, seed uint64) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = hashx.At(seed, i)%uint64(4*n) + 1
+	}
+	return keys
+}
+
+func TestInsertFindBasic(t *testing.T) {
+	tab := NewWordTable[SetOps](16)
+	for _, k := range []uint64{1, 2, 3, 100, 200} {
+		if !tab.Insert(k) {
+			t.Errorf("Insert(%d) reported duplicate on first insert", k)
+		}
+	}
+	if tab.Insert(100) {
+		t.Error("duplicate Insert(100) reported as new")
+	}
+	for _, k := range []uint64{1, 2, 3, 100, 200} {
+		if !tab.Contains(k) {
+			t.Errorf("Contains(%d) = false, want true", k)
+		}
+	}
+	for _, k := range []uint64{4, 99, 201} {
+		if tab.Contains(k) {
+			t.Errorf("Contains(%d) = true, want false", k)
+		}
+	}
+	if got := tab.Count(); got != 5 {
+		t.Errorf("Count() = %d, want 5", got)
+	}
+	if err := tab.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert(Empty) did not panic")
+		}
+	}()
+	NewWordTable[SetOps](8).Insert(Empty)
+}
+
+func TestTableFullPanics(t *testing.T) {
+	tab := NewWordTable[SetOps](4) // 4 cells
+	defer func() {
+		if recover() == nil {
+			t.Error("overfilling the table did not panic")
+		}
+	}()
+	for k := uint64(1); k <= 10; k++ {
+		tab.Insert(k)
+	}
+}
+
+// TestHistoryIndependenceSerial: any insertion order yields the identical
+// backing array (the Blelloch–Golovin unique-representation property).
+func TestHistoryIndependenceSerial(t *testing.T) {
+	keys := randKeys(300, 42)
+	ref := buildSerial(keys, 1024).Snapshot()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		perm := append([]uint64(nil), keys...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		got := buildSerial(perm, 1024).Snapshot()
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: layout differs at cell %d: %#x vs %#x", trial, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestDeterministicConcurrentInsert: concurrent insertion yields the
+// same layout as sequential insertion, across many runs.
+func TestDeterministicConcurrentInsert(t *testing.T) {
+	keys := randKeys(20000, 99)
+	ref := buildSerial(keys, 1<<16).Snapshot()
+	for trial := 0; trial < 8; trial++ {
+		got := buildParallel(keys, 1<<16).Snapshot()
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: concurrent layout differs at cell %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestOrderingInvariantAfterConcurrentInsert(t *testing.T) {
+	keys := randKeys(50000, 5)
+	tab := buildParallel(keys, 1<<17)
+	if err := tab.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteSequential checks deletes against a reference map, then the
+// invariant and history-independence of the remainder.
+func TestDeleteSequential(t *testing.T) {
+	keys := randKeys(1000, 11)
+	tab := buildSerial(keys, 4096)
+	present := map[uint64]bool{}
+	for _, k := range keys {
+		present[k] = true
+	}
+	// Delete every third distinct key plus some absent keys.
+	var deleted []uint64
+	i := 0
+	for k := range present {
+		if i%3 == 0 {
+			deleted = append(deleted, k)
+		}
+		i++
+	}
+	for _, k := range deleted {
+		if !tab.Delete(k) {
+			t.Errorf("Delete(%d) = false for present key", k)
+		}
+		delete(present, k)
+	}
+	if tab.Delete(999999999) {
+		t.Error("Delete of absent key returned true")
+	}
+	for k := range present {
+		if !tab.Contains(k) {
+			t.Errorf("key %d missing after unrelated deletes", k)
+		}
+	}
+	for _, k := range deleted {
+		if tab.Contains(k) {
+			t.Errorf("deleted key %d still present", k)
+		}
+	}
+	if err := tab.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	// History independence: table with survivors inserted fresh matches.
+	var survivors []uint64
+	for k := range present {
+		survivors = append(survivors, k)
+	}
+	ref := buildSerial(survivors, 4096).Snapshot()
+	got := tab.Snapshot()
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("layout after deletes differs from fresh build at cell %d", i)
+		}
+	}
+}
+
+// TestDeterministicConcurrentDelete: concurrent deletions leave the same
+// layout as building the surviving set from scratch.
+func TestDeterministicConcurrentDelete(t *testing.T) {
+	keys := randKeys(20000, 123)
+	dels := make([]uint64, 0, len(keys)/2)
+	for i, k := range keys {
+		if i%2 == 0 {
+			dels = append(dels, k)
+		}
+	}
+	surviving := map[uint64]bool{}
+	for _, k := range keys {
+		surviving[k] = true
+	}
+	for _, k := range dels {
+		delete(surviving, k)
+	}
+	var surv []uint64
+	for k := range surviving {
+		surv = append(surv, k)
+	}
+	ref := buildSerial(surv, 1<<16).Snapshot()
+
+	for trial := 0; trial < 6; trial++ {
+		tab := buildParallel(keys, 1<<16)
+		parallel.ForGrain(len(dels), 1, func(i int) { tab.Delete(dels[i]) })
+		if err := tab.CheckInvariant(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := tab.Snapshot()
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: delete layout differs at cell %d: got %#x want %#x", trial, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentDeleteDuplicates: several threads deleting the same key
+// concurrently must still produce the correct final set (the paper's
+// multiplicity argument).
+func TestConcurrentDeleteDuplicates(t *testing.T) {
+	keys := randKeys(5000, 77)
+	tab := buildParallel(keys, 1<<14)
+	// Every key deleted 4 times, concurrently.
+	dels := make([]uint64, 0, 4*len(keys))
+	for rep := 0; rep < 4; rep++ {
+		dels = append(dels, keys...)
+	}
+	parallel.ForGrain(len(dels), 1, func(i int) { tab.Delete(dels[i]) })
+	if got := tab.Count(); got != 0 {
+		t.Fatalf("Count() = %d after deleting everything, want 0", got)
+	}
+	if err := tab.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementsDeterministicAndSorted(t *testing.T) {
+	keys := randKeys(30000, 2024)
+	a := buildParallel(keys, 1<<16).Elements()
+	b := buildParallel(keys, 1<<16).Elements()
+	if len(a) != len(b) {
+		t.Fatalf("Elements length differs across runs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Elements differ at %d", i)
+		}
+	}
+	set := map[uint64]bool{}
+	for _, k := range keys {
+		set[k] = true
+	}
+	if len(a) != len(set) {
+		t.Fatalf("Elements returned %d values, want %d distinct", len(a), len(set))
+	}
+	for _, e := range a {
+		if !set[e] {
+			t.Fatalf("Elements returned %d which was never inserted", e)
+		}
+	}
+}
+
+func TestInsertReturnCountsNewElements(t *testing.T) {
+	keys := randKeys(10000, 314) // has duplicates by construction
+	tab := NewWordTable[SetOps](1 << 15)
+	var total int64
+	parallel.ForBlocked(len(keys), 0, func(lo, hi int) {
+		n := int64(0)
+		for i := lo; i < hi; i++ {
+			if tab.Insert(keys[i]) {
+				n++
+			}
+		}
+		atomic.AddInt64(&total, n)
+	})
+	if int(total) != tab.Count() {
+		t.Fatalf("sum of Insert()==true is %d, table Count() is %d", total, tab.Count())
+	}
+}
+
+func TestPairMergeSemantics(t *testing.T) {
+	minTab := NewWordTable[PairMinOps](64)
+	maxTab := NewWordTable[PairMaxOps](64)
+	sumTab := NewWordTable[PairSumOps](64)
+	for _, v := range []uint32{5, 3, 9, 3, 7} {
+		minTab.Insert(Pair(42, v))
+		maxTab.Insert(Pair(42, v))
+		sumTab.Insert(Pair(42, v))
+	}
+	if e, ok := minTab.Find(Pair(42, 0)); !ok || PairValue(e) != 3 {
+		t.Errorf("PairMin stored value %d, want 3", PairValue(e))
+	}
+	if e, ok := maxTab.Find(Pair(42, 0)); !ok || PairValue(e) != 9 {
+		t.Errorf("PairMax stored value %d, want 9", PairValue(e))
+	}
+	if e, ok := sumTab.Find(Pair(42, 0)); !ok || PairValue(e) != 27 {
+		t.Errorf("PairSum stored value %d, want 27", PairValue(e))
+	}
+}
+
+// TestPairDeterministicConcurrent: concurrent duplicate-key inserts with
+// a min-combine give a deterministic layout and value.
+func TestPairDeterministicConcurrent(t *testing.T) {
+	n := 20000
+	elems := make([]uint64, n)
+	for i := range elems {
+		elems[i] = Pair(uint32(hashx.At(9, i)%2000+1), uint32(hashx.At(10, i)%1000))
+	}
+	build := func() []uint64 {
+		tab := NewWordTable[PairMinOps](1 << 13)
+		parallel.ForGrain(n, 1, func(i int) { tab.Insert(elems[i]) })
+		return tab.Snapshot()
+	}
+	ref := build()
+	for trial := 0; trial < 5; trial++ {
+		got := build()
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: pair layout differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+// Property test: for arbitrary small key multisets, table contents equal
+// the distinct key set and the invariant holds, whether built serially or
+// concurrently.
+func TestQuickSetSemantics(t *testing.T) {
+	f := func(raw []uint16) bool {
+		keys := make([]uint64, len(raw))
+		for i, r := range raw {
+			keys[i] = uint64(r) + 1
+		}
+		tab := NewWordTable[SetOps](2*len(keys) + 8)
+		parallel.ForGrain(len(keys), 1, func(i int) { tab.Insert(keys[i]) })
+		if err := tab.CheckInvariant(); err != nil {
+			t.Log(err)
+			return false
+		}
+		want := map[uint64]bool{}
+		for _, k := range keys {
+			want[k] = true
+		}
+		elems := tab.Elements()
+		if len(elems) != len(want) {
+			return false
+		}
+		for _, e := range elems {
+			if !want[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property test: insert a set, delete an arbitrary subset concurrently,
+// verify survivors and invariant.
+func TestQuickDeleteSemantics(t *testing.T) {
+	f := func(raw []uint16, delMask []bool) bool {
+		keys := make([]uint64, len(raw))
+		for i, r := range raw {
+			keys[i] = uint64(r) + 1
+		}
+		tab := NewWordTable[SetOps](2*len(keys) + 8)
+		parallel.ForGrain(len(keys), 1, func(i int) { tab.Insert(keys[i]) })
+		want := map[uint64]bool{}
+		for _, k := range keys {
+			want[k] = true
+		}
+		var dels []uint64
+		for i, k := range keys {
+			if i < len(delMask) && delMask[i] {
+				dels = append(dels, k)
+				delete(want, k)
+			}
+		}
+		parallel.ForGrain(len(dels), 1, func(i int) { tab.Delete(dels[i]) })
+		if err := tab.CheckInvariant(); err != nil {
+			t.Log(err)
+			return false
+		}
+		elems := tab.Elements()
+		if len(elems) != len(want) {
+			return false
+		}
+		for _, e := range elems {
+			if !want[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAdversarialCluster uses the identity hash to force one giant
+// cluster with wraparound over the end of the array, and checks inserts,
+// finds and deletes across the boundary.
+func TestAdversarialCluster(t *testing.T) {
+	tab := NewWordTable[IdentOps](8) // cells 0..7
+	// All keys hash to cell 6: cluster wraps 6,7,0,1,...
+	keys := []uint64{6, 14, 22, 30, 38} // all ≡ 6 mod 8
+	for _, k := range keys {
+		tab.Insert(k)
+	}
+	if err := tab.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if !tab.Contains(k) {
+			t.Fatalf("key %d missing in wrapped cluster", k)
+		}
+	}
+	// Highest priority (38) sits at cell 6; the rest wrap.
+	if tab.cells[6] != 38 {
+		t.Errorf("cell 6 = %d, want 38 (highest priority first)", tab.cells[6])
+	}
+	// Delete the element at the cluster head and check the shift-back.
+	if !tab.Delete(38) {
+		t.Fatal("Delete(38) failed")
+	}
+	if err := tab.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{6, 14, 22, 30} {
+		if !tab.Contains(k) {
+			t.Fatalf("key %d lost after deleting cluster head", k)
+		}
+	}
+	// Delete an interior element.
+	if !tab.Delete(22) {
+		t.Fatal("Delete(22) failed")
+	}
+	if err := tab.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Contains(22) {
+		t.Error("22 still present")
+	}
+	if got := tab.Count(); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+}

@@ -1,0 +1,102 @@
+// Package detres implements deterministic reservations, the
+// speculative-for framework of Blelloch, Fineman, Gibbons and Shun
+// ("Internally deterministic parallel algorithms can be fast", PPoPP
+// 2012) that the paper's Delaunay-refinement and spanning-forest
+// applications are built on.
+//
+// Iterates 0..n-1 carry priorities equal to their indices. Each round
+// takes a prefix of the remaining iterates; every iterate in the prefix
+// runs Reserve (announcing its intent on shared state, typically with
+// WriteMin keyed by its priority), then every iterate runs Commit, which
+// succeeds only if the iterate still holds all its reservations. Failed
+// iterates retry in later rounds. Because reservations are
+// priority-ordered, the set of winners each round — and therefore the
+// entire execution — is deterministic, independent of scheduling.
+package detres
+
+import "phasehash/internal/parallel"
+
+// Step defines one speculative iterate.
+type Step interface {
+	// Reserve announces iterate i's claims. Returning false drops the
+	// iterate without a commit attempt (it discovered it has nothing to
+	// do).
+	Reserve(i int) bool
+	// Commit attempts iterate i's action; it must succeed only if i still
+	// holds every claim it reserved. Returning false requeues i.
+	Commit(i int) bool
+}
+
+// Stats reports what a SpeculativeFor execution did.
+type Stats struct {
+	Rounds    int // reservation/commit rounds executed
+	Committed int // iterates whose Commit returned true
+	Dropped   int // iterates whose Reserve returned false
+}
+
+// SpeculativeFor runs iterates [start, end) to completion with the given
+// round granularity (maximum prefix size per round; <= 0 chooses a
+// default). It returns execution statistics.
+func SpeculativeFor(step Step, start, end, granularity int) Stats {
+	if granularity <= 0 {
+		granularity = defaultGranularity(end - start)
+	}
+	var stats Stats
+	// active holds the indices still to be done, in priority order.
+	active := make([]int, 0, granularity)
+	next := start
+	keep := make([]bool, 0, granularity)
+	for {
+		// Top up the prefix with fresh iterates.
+		for len(active) < granularity && next < end {
+			active = append(active, next)
+			next++
+		}
+		if len(active) == 0 {
+			return stats
+		}
+		stats.Rounds++
+		p := len(active)
+		keep = keep[:0]
+		keep = append(keep, make([]bool, p)...)
+		dropped := make([]int, p)
+		committed := make([]int, p)
+		parallel.ForGrain(p, 1, func(j int) {
+			if !step.Reserve(active[j]) {
+				dropped[j] = 1
+				return
+			}
+			keep[j] = true
+		})
+		parallel.ForGrain(p, 1, func(j int) {
+			if !keep[j] {
+				return
+			}
+			if step.Commit(active[j]) {
+				committed[j] = 1
+				keep[j] = false
+			}
+		})
+		for j := 0; j < p; j++ {
+			stats.Dropped += dropped[j]
+			stats.Committed += committed[j]
+		}
+		// Retain failed iterates, preserving priority order.
+		w := 0
+		for j := 0; j < p; j++ {
+			if keep[j] {
+				active[w] = active[j]
+				w++
+			}
+		}
+		active = active[:w]
+	}
+}
+
+func defaultGranularity(n int) int {
+	g := n / 50
+	if g < 256 {
+		g = 256
+	}
+	return g
+}

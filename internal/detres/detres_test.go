@@ -1,0 +1,148 @@
+package detres
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"phasehash/internal/atomicx"
+)
+
+// slotStep has n iterates competing for m slots (iterate i wants slot
+// i%m). Each round an iterate WriteMin-reserves its slot; the holder of
+// the minimum priority takes the slot (appending itself to the slot's
+// history and resetting the reservation), everyone else retries. The
+// deterministic-reservations guarantee is that each slot's history comes
+// out in strictly increasing priority order, on every schedule — the same
+// protocol (reserve / check-and-reset) the spanning-forest application
+// uses.
+type slotStep struct {
+	m        int
+	reserved []uint64
+	mu       []sync.Mutex
+	history  [][]int
+}
+
+func newSlotStep(m int) *slotStep {
+	s := &slotStep{
+		m:        m,
+		reserved: make([]uint64, m),
+		mu:       make([]sync.Mutex, m),
+		history:  make([][]int, m),
+	}
+	for i := range s.reserved {
+		s.reserved[i] = ^uint64(0)
+	}
+	return s
+}
+
+func (s *slotStep) Reserve(i int) bool {
+	atomicx.WriteMin(&s.reserved[i%s.m], uint64(i))
+	return true
+}
+
+func (s *slotStep) Commit(i int) bool {
+	slot := i % s.m
+	// check-and-reset: only the priority minimum proceeds.
+	if !atomic.CompareAndSwapUint64(&s.reserved[slot], uint64(i), ^uint64(0)) {
+		return false
+	}
+	s.mu[slot].Lock()
+	s.history[slot] = append(s.history[slot], i)
+	s.mu[slot].Unlock()
+	return true
+}
+
+func TestSpeculativeForSlotOrderDeterministic(t *testing.T) {
+	n, m := 5000, 37
+	for trial := 0; trial < 5; trial++ {
+		s := newSlotStep(m)
+		stats := SpeculativeFor(s, 0, n, 0)
+		if stats.Committed != n {
+			t.Fatalf("Committed = %d, want %d", stats.Committed, n)
+		}
+		total := 0
+		for slot, h := range s.history {
+			total += len(h)
+			for j := 1; j < len(h); j++ {
+				if h[j] <= h[j-1] {
+					t.Fatalf("trial %d: slot %d history out of priority order: %v", trial, slot, h[:j+1])
+				}
+			}
+		}
+		if total != n {
+			t.Fatalf("history holds %d entries, want %d", total, n)
+		}
+	}
+}
+
+// trivialStep commits everything first try.
+type trivialStep struct{ done []atomic.Int32 }
+
+func (s *trivialStep) Reserve(int) bool { return true }
+func (s *trivialStep) Commit(i int) bool {
+	s.done[i].Add(1)
+	return true
+}
+
+func TestSpeculativeForRunsEachIterateOnce(t *testing.T) {
+	n := 10000
+	s := &trivialStep{done: make([]atomic.Int32, n)}
+	stats := SpeculativeFor(s, 0, n, 128)
+	if stats.Committed != n {
+		t.Fatalf("Committed = %d, want %d", stats.Committed, n)
+	}
+	for i := range s.done {
+		if s.done[i].Load() != 1 {
+			t.Fatalf("iterate %d committed %d times", i, s.done[i].Load())
+		}
+	}
+	if stats.Rounds < n/128 {
+		t.Errorf("Rounds = %d, expected at least %d with granularity 128", stats.Rounds, n/128)
+	}
+}
+
+// flakyStep fails each iterate's first commit attempt, exercising retry.
+type flakyStep struct {
+	attempts []atomic.Int32
+}
+
+func (s *flakyStep) Reserve(int) bool { return true }
+func (s *flakyStep) Commit(i int) bool {
+	return s.attempts[i].Add(1) > 1
+}
+
+func TestSpeculativeForRetries(t *testing.T) {
+	n := 1000
+	s := &flakyStep{attempts: make([]atomic.Int32, n)}
+	stats := SpeculativeFor(s, 0, n, 100)
+	if stats.Committed != n {
+		t.Fatalf("Committed = %d, want %d", stats.Committed, n)
+	}
+	for i := range s.attempts {
+		if s.attempts[i].Load() != 2 {
+			t.Fatalf("iterate %d took %d attempts, want 2", i, s.attempts[i].Load())
+		}
+	}
+}
+
+// dropStep drops odd iterates at reserve time.
+type dropStep struct{ committed atomic.Int64 }
+
+func (s *dropStep) Reserve(i int) bool { return i%2 == 0 }
+func (s *dropStep) Commit(i int) bool {
+	s.committed.Add(1)
+	return true
+}
+
+func TestSpeculativeForDrops(t *testing.T) {
+	n := 1000
+	s := &dropStep{}
+	stats := SpeculativeFor(s, 0, n, 64)
+	if stats.Dropped != n/2 || stats.Committed != n/2 {
+		t.Fatalf("Dropped=%d Committed=%d, want %d each", stats.Dropped, stats.Committed, n/2)
+	}
+	if s.committed.Load() != int64(n/2) {
+		t.Fatalf("step saw %d commits", s.committed.Load())
+	}
+}

@@ -1,0 +1,236 @@
+// Package geom provides 2-D points, robust orientation and in-circle
+// predicates, and the paper's point distributions (2DinCube uniform
+// square and 2Dkuzmin disk) for the Delaunay-refinement experiment.
+//
+// Predicates evaluate a floating-point determinant with a forward error
+// bound (a static filter in the style of Shewchuk's adaptive
+// predicates); ambiguous cases fall back to exact rational arithmetic
+// (math/big), so results are always correct and deterministic.
+package geom
+
+import (
+	"math"
+	"math/big"
+
+	"phasehash/internal/hashx"
+	"phasehash/internal/parallel"
+)
+
+// Point is a point in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Orient2D returns +1 if a,b,c make a left (counter-clockwise) turn, -1
+// for a right turn, and 0 if they are collinear.
+func Orient2D(a, b, c Point) int {
+	detl := (b.X - a.X) * (c.Y - a.Y)
+	detr := (b.Y - a.Y) * (c.X - a.X)
+	det := detl - detr
+	// Static filter (Shewchuk): |det| above this bound is trustworthy.
+	errBound := 3.3306690738754716e-16 * (math.Abs(detl) + math.Abs(detr))
+	if det > errBound {
+		return 1
+	}
+	if det < -errBound {
+		return -1
+	}
+	return orient2DExact(a, b, c)
+}
+
+func orient2DExact(a, b, c Point) int {
+	ax, ay := big.NewFloat(a.X), big.NewFloat(a.Y)
+	bx, by := big.NewFloat(b.X), big.NewFloat(b.Y)
+	cx, cy := big.NewFloat(c.X), big.NewFloat(c.Y)
+	prec := uint(200)
+	for _, f := range []*big.Float{ax, ay, bx, by, cx, cy} {
+		f.SetPrec(prec)
+	}
+	t1 := new(big.Float).SetPrec(prec).Sub(bx, ax)
+	t2 := new(big.Float).SetPrec(prec).Sub(cy, ay)
+	t3 := new(big.Float).SetPrec(prec).Sub(by, ay)
+	t4 := new(big.Float).SetPrec(prec).Sub(cx, ax)
+	l := new(big.Float).SetPrec(prec).Mul(t1, t2)
+	r := new(big.Float).SetPrec(prec).Mul(t3, t4)
+	return l.Cmp(r)
+}
+
+// InCircle returns +1 if d lies strictly inside the circumcircle of the
+// counter-clockwise triangle (a, b, c), -1 if strictly outside, 0 on the
+// circle.
+func InCircle(a, b, c, d Point) int {
+	adx, ady := a.X-d.X, a.Y-d.Y
+	bdx, bdy := b.X-d.X, b.Y-d.Y
+	cdx, cdy := c.X-d.X, c.Y-d.Y
+
+	bdxcdy := bdx * cdy
+	cdxbdy := cdx * bdy
+	alift := adx*adx + ady*ady
+
+	cdxady := cdx * ady
+	adxcdy := adx * cdy
+	blift := bdx*bdx + bdy*bdy
+
+	adxbdy := adx * bdy
+	bdxady := bdx * ady
+	clift := cdx*cdx + cdy*cdy
+
+	det := alift*(bdxcdy-cdxbdy) + blift*(cdxady-adxcdy) + clift*(adxbdy-bdxady)
+
+	permanent := (math.Abs(bdxcdy)+math.Abs(cdxbdy))*alift +
+		(math.Abs(cdxady)+math.Abs(adxcdy))*blift +
+		(math.Abs(adxbdy)+math.Abs(bdxady))*clift
+	errBound := 1.1102230246251565e-15 * permanent
+	if det > errBound {
+		return 1
+	}
+	if det < -errBound {
+		return -1
+	}
+	return inCircleExact(a, b, c, d)
+}
+
+func inCircleExact(a, b, c, d Point) int {
+	const prec = 400
+	f := func(x float64) *big.Float { return new(big.Float).SetPrec(prec).SetFloat64(x) }
+	sub := func(x, y *big.Float) *big.Float { return new(big.Float).SetPrec(prec).Sub(x, y) }
+	mul := func(x, y *big.Float) *big.Float { return new(big.Float).SetPrec(prec).Mul(x, y) }
+	add := func(x, y *big.Float) *big.Float { return new(big.Float).SetPrec(prec).Add(x, y) }
+
+	adx, ady := sub(f(a.X), f(d.X)), sub(f(a.Y), f(d.Y))
+	bdx, bdy := sub(f(b.X), f(d.X)), sub(f(b.Y), f(d.Y))
+	cdx, cdy := sub(f(c.X), f(d.X)), sub(f(c.Y), f(d.Y))
+
+	alift := add(mul(adx, adx), mul(ady, ady))
+	blift := add(mul(bdx, bdx), mul(bdy, bdy))
+	clift := add(mul(cdx, cdx), mul(cdy, cdy))
+
+	t1 := mul(alift, sub(mul(bdx, cdy), mul(cdx, bdy)))
+	t2 := mul(blift, sub(mul(cdx, ady), mul(adx, cdy)))
+	t3 := mul(clift, sub(mul(adx, bdy), mul(bdx, ady)))
+	det := add(add(t1, t2), t3)
+	return det.Sign()
+}
+
+// Dist2 returns the squared distance between two points.
+func Dist2(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+// Circumcenter returns the circumcenter of triangle (a, b, c). The
+// triangle must not be degenerate.
+func Circumcenter(a, b, c Point) Point {
+	bx, by := b.X-a.X, b.Y-a.Y
+	cx, cy := c.X-a.X, c.Y-a.Y
+	d := 2 * (bx*cy - by*cx)
+	ux := (cy*(bx*bx+by*by) - by*(cx*cx+cy*cy)) / d
+	uy := (bx*(cx*cx+cy*cy) - cx*(bx*bx+by*by)) / d
+	return Point{a.X + ux, a.Y + uy}
+}
+
+// MinAngleCos returns the cosine of the smallest angle of triangle
+// (a, b, c). Because cos is decreasing on (0, π), the smallest angle has
+// the LARGEST cosine; a triangle is "bad" for bound α when
+// MinAngleCos > cos(α).
+func MinAngleCos(a, b, c Point) float64 {
+	// Angle at each vertex via the law of cosines.
+	l2a := Dist2(b, c) // side opposite a
+	l2b := Dist2(a, c)
+	l2c := Dist2(a, b)
+	la, lb, lc := math.Sqrt(l2a), math.Sqrt(l2b), math.Sqrt(l2c)
+	cosA := (l2b + l2c - l2a) / (2 * lb * lc)
+	cosB := (l2a + l2c - l2b) / (2 * la * lc)
+	cosC := (l2a + l2b - l2c) / (2 * la * lb)
+	return math.Max(cosA, math.Max(cosB, cosC))
+}
+
+// InCube generates n points uniform in the unit square (the PBBS
+// 2DinCube distribution), deterministically from the seed.
+func InCube(n int, seed uint64) []Point {
+	pts := make([]Point, n)
+	parallel.For(n, func(i int) {
+		pts[i] = Point{
+			X: hashx.Float64At(seed, i),
+			Y: hashx.Float64At(seed+1, i),
+		}
+	})
+	return pts
+}
+
+// Kuzmin generates n points from the Kuzmin distribution (the PBBS
+// 2Dkuzmin input): a radially symmetric disk with density concentrated
+// at the center — the hard case for point location. The radial CDF is
+// M(r) = 1 - 1/sqrt(1+r^2); inverting gives r(u) = sqrt(1/(1-u)^2 - 1).
+func Kuzmin(n int, seed uint64) []Point {
+	pts := make([]Point, n)
+	parallel.For(n, func(i int) {
+		u := hashx.Float64At(seed, i)
+		if u > 0.9999 {
+			u = 0.9999 // cap the tail so coordinates stay moderate
+		}
+		s := 1 / (1 - u)
+		r := math.Sqrt(s*s - 1)
+		theta := 2 * math.Pi * hashx.Float64At(seed+1, i)
+		pts[i] = Point{X: r * math.Cos(theta), Y: r * math.Sin(theta)}
+	})
+	return pts
+}
+
+// Bounds returns the bounding box of pts.
+func Bounds(pts []Point) (lo, hi Point) {
+	lo = Point{math.Inf(1), math.Inf(1)}
+	hi = Point{math.Inf(-1), math.Inf(-1)}
+	for _, p := range pts {
+		lo.X = math.Min(lo.X, p.X)
+		lo.Y = math.Min(lo.Y, p.Y)
+		hi.X = math.Max(hi.X, p.X)
+		hi.Y = math.Max(hi.Y, p.Y)
+	}
+	return lo, hi
+}
+
+// MortonOrder returns a permutation of [0,n) that sorts pts along a
+// Z-order curve, giving the spatial locality the incremental Delaunay
+// walk relies on for near-linear construction.
+func MortonOrder(pts []Point) []int {
+	lo, hi := Bounds(pts)
+	sx := 1.0 / math.Max(hi.X-lo.X, 1e-300)
+	sy := 1.0 / math.Max(hi.Y-lo.Y, 1e-300)
+	type keyed struct {
+		key uint64
+		idx int
+	}
+	ks := make([]keyed, len(pts))
+	parallel.For(len(pts), func(i int) {
+		x := uint32((pts[i].X - lo.X) * sx * float64(1<<21-1))
+		y := uint32((pts[i].Y - lo.Y) * sy * float64(1<<21-1))
+		ks[i] = keyed{key: interleave(x, y), idx: i}
+	})
+	parallel.Sort(ks, func(a, b keyed) bool {
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.idx < b.idx
+	})
+	out := make([]int, len(pts))
+	for i, k := range ks {
+		out[i] = k.idx
+	}
+	return out
+}
+
+// interleave spreads the low 21 bits of x and y into a 42-bit Morton key.
+func interleave(x, y uint32) uint64 {
+	return spread(x) | spread(y)<<1
+}
+
+func spread(v uint32) uint64 {
+	x := uint64(v) & 0x1fffff
+	x = (x | x<<32) & 0x1f00000000ffff
+	x = (x | x<<16) & 0x1f0000ff0000ff
+	x = (x | x<<8) & 0x100f00f00f00f00f
+	x = (x | x<<4) & 0x10c30c30c30c30c3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}

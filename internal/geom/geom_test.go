@@ -1,0 +1,163 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrient2DBasic(t *testing.T) {
+	a, b := Point{0, 0}, Point{1, 0}
+	if Orient2D(a, b, Point{0, 1}) != 1 {
+		t.Error("left turn not detected")
+	}
+	if Orient2D(a, b, Point{0, -1}) != -1 {
+		t.Error("right turn not detected")
+	}
+	if Orient2D(a, b, Point{2, 0}) != 0 {
+		t.Error("collinear not detected")
+	}
+}
+
+func TestOrient2DNearDegenerate(t *testing.T) {
+	// Points nearly collinear at the limit of double precision: the
+	// exact fallback must still give consistent, antisymmetric answers.
+	a := Point{0, 0}
+	b := Point{1e-30, 1e-30}
+	c := Point{2e-30, 2e-30 + 1e-60}
+	s1 := Orient2D(a, b, c)
+	s2 := Orient2D(b, a, c)
+	if s1 != -s2 {
+		t.Errorf("orientation not antisymmetric: %d vs %d", s1, s2)
+	}
+	// Shewchuk's classic failure case for naive floats.
+	p := Point{0.5, 0.5}
+	q := Point{12, 12}
+	r := Point{24, 24}
+	if Orient2D(p, q, r) != 0 {
+		t.Error("exactly collinear points misclassified")
+	}
+}
+
+func TestInCircleBasic(t *testing.T) {
+	a, b, c := Point{0, 0}, Point{1, 0}, Point{0, 1} // CCW
+	if InCircle(a, b, c, Point{0.5, 0.5}) != 1 {
+		t.Error("interior point not inside")
+	}
+	if InCircle(a, b, c, Point{5, 5}) != -1 {
+		t.Error("far point not outside")
+	}
+	if InCircle(a, b, c, Point{1, 1}) != 0 {
+		t.Error("cocircular point not on circle")
+	}
+}
+
+func TestQuickInCircleConsistentWithDistance(t *testing.T) {
+	f := func(ax, ay, r, theta float64) bool {
+		// Build a circle with known center/radius; classify a test point
+		// by comparing distances, then check InCircle agrees.
+		cx := math.Mod(math.Abs(ax), 10)
+		cy := math.Mod(math.Abs(ay), 10)
+		rad := math.Mod(math.Abs(r), 10) + 1
+		a := Point{cx + rad, cy}
+		b := Point{cx, cy + rad}
+		c := Point{cx - rad, cy} // right -> top -> left: CCW
+		th := math.Mod(theta, 2*math.Pi)
+		for _, scale := range []float64{0.5, 0.99, 1.01, 2} {
+			d := Point{cx + scale*rad*math.Cos(th), cy + scale*rad*math.Sin(th)}
+			want := 0
+			dd := math.Hypot(d.X-cx, d.Y-cy)
+			if dd < rad*0.999 {
+				want = 1
+			} else if dd > rad*1.001 {
+				want = -1
+			} else {
+				continue // too close to the circle for the float oracle
+			}
+			if InCircle(a, b, c, d) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCircumcenter(t *testing.T) {
+	a, b, c := Point{0, 0}, Point{2, 0}, Point{0, 2}
+	cc := Circumcenter(a, b, c)
+	if math.Abs(cc.X-1) > 1e-12 || math.Abs(cc.Y-1) > 1e-12 {
+		t.Errorf("circumcenter %v, want (1,1)", cc)
+	}
+	// Equidistance property on a scalene triangle.
+	a, b, c = Point{0.3, 1.7}, Point{4.1, 0.2}, Point{2.2, 3.9}
+	cc = Circumcenter(a, b, c)
+	da, db, dc := Dist2(cc, a), Dist2(cc, b), Dist2(cc, c)
+	if math.Abs(da-db) > 1e-9 || math.Abs(da-dc) > 1e-9 {
+		t.Errorf("circumcenter not equidistant: %g %g %g", da, db, dc)
+	}
+}
+
+func TestMinAngleCos(t *testing.T) {
+	// Equilateral: all angles 60°, min-angle cos = 0.5.
+	h := math.Sqrt(3) / 2
+	got := MinAngleCos(Point{0, 0}, Point{1, 0}, Point{0.5, h})
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("equilateral MinAngleCos = %g, want 0.5", got)
+	}
+	// Skinny triangle: tiny min angle, cosine near 1.
+	skinny := MinAngleCos(Point{0, 0}, Point{1, 0}, Point{0.5, 0.001})
+	if skinny < math.Cos(5*math.Pi/180) {
+		t.Errorf("skinny triangle min-angle cos %g too small", skinny)
+	}
+}
+
+func TestGeneratorsDeterministicAndBounded(t *testing.T) {
+	cube := InCube(10000, 3)
+	for _, p := range cube {
+		if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 {
+			t.Fatalf("InCube point %v outside unit square", p)
+		}
+	}
+	again := InCube(10000, 3)
+	for i := range cube {
+		if cube[i] != again[i] {
+			t.Fatal("InCube not deterministic")
+		}
+	}
+	kuz := Kuzmin(10000, 5)
+	// Kuzmin concentrates near the origin: the median radius is about
+	// sqrt(3) (M(r)=0.5), far below the max.
+	inside := 0
+	for _, p := range kuz {
+		if math.Hypot(p.X, p.Y) < 2 {
+			inside++
+		}
+	}
+	if inside < 4000 {
+		t.Errorf("only %d/10000 Kuzmin points within r<2; distribution wrong", inside)
+	}
+}
+
+func TestMortonOrderIsPermutation(t *testing.T) {
+	pts := InCube(5000, 9)
+	ord := MortonOrder(pts)
+	seen := make([]bool, len(pts))
+	for _, i := range ord {
+		if seen[i] {
+			t.Fatalf("index %d repeated", i)
+		}
+		seen[i] = true
+	}
+	// Locality: consecutive points in Morton order are near each other
+	// on average (far below the ~0.52 expected for random pairs).
+	sum := 0.0
+	for i := 1; i < len(ord); i++ {
+		sum += math.Sqrt(Dist2(pts[ord[i]], pts[ord[i-1]]))
+	}
+	if mean := sum / float64(len(ord)-1); mean > 0.2 {
+		t.Errorf("mean Morton-consecutive distance %.3f; locality too poor", mean)
+	}
+}

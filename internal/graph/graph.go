@@ -1,0 +1,222 @@
+// Package graph provides the compressed-sparse-row graph representation
+// and the three PBBS graph generators the paper's BFS, spanning-forest
+// and edge-contraction experiments run on:
+//
+//	3D-grid   every vertex connects to its 2 neighbors in each of 3
+//	          dimensions (torus), 6 edges per vertex
+//	random    every vertex has k edges to uniformly random neighbors
+//	rMat      the recursive matrix model of Chakrabarti, Zhan &
+//	          Faloutsos, giving a power-law degree distribution
+//
+// Generators take a seed and are deterministic; graphs are symmetrized
+// (undirected) with duplicate edges removed, as in PBBS.
+package graph
+
+import (
+	"fmt"
+
+	"phasehash/internal/hashx"
+	"phasehash/internal/parallel"
+)
+
+// Graph is an undirected graph in CSR form: the neighbors of vertex v
+// are Adj[Offsets[v]:Offsets[v+1]].
+type Graph struct {
+	Offsets []int64
+	Adj     []uint32
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Offsets) - 1 }
+
+// NumEdges returns the number of directed arcs (2x undirected edges).
+func (g *Graph) NumEdges() int { return len(g.Adj) }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns v's adjacency slice (do not modify).
+func (g *Graph) Neighbors(v int) []uint32 {
+	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// Edge is an undirected edge (U <= V after normalization).
+type Edge struct {
+	U, V uint32
+}
+
+// EdgeList is a list of undirected edges, the input form for the
+// spanning-forest and edge-contraction experiments.
+type EdgeList struct {
+	N     int // number of vertices
+	Edges []Edge
+}
+
+// FromEdges builds a CSR graph from an edge list, symmetrizing and
+// removing self-loops and duplicate arcs. Construction is parallel and
+// deterministic (counting sort by endpoint, then per-vertex dedup).
+func FromEdges(n int, edges []Edge) *Graph {
+	// Count degrees for both directions.
+	deg := make([]int64, n+1)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	adj := make([]uint32, deg[n])
+	fill := make([]int64, n)
+	copy(fill, deg[:n])
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		adj[fill[e.U]] = e.V
+		fill[e.U]++
+		adj[fill[e.V]] = e.U
+		fill[e.V]++
+	}
+	// Sort each adjacency list and strip duplicates.
+	offsets := make([]int64, n+1)
+	parallel.For(n, func(v int) {
+		lo, hi := deg[v], deg[v+1]
+		nbrs := adj[lo:hi]
+		insertionSort(nbrs)
+		w := 0
+		for i := range nbrs {
+			if i == 0 || nbrs[i] != nbrs[i-1] {
+				nbrs[w] = nbrs[i]
+				w++
+			}
+		}
+		offsets[v+1] = int64(w)
+	})
+	total := int64(0)
+	for v := 0; v < n; v++ {
+		offsets[v+1], total = total+offsets[v+1], total+offsets[v+1]
+	}
+	packed := make([]uint32, total)
+	parallel.For(n, func(v int) {
+		lo := deg[v]
+		cnt := offsets[v+1] - offsets[v]
+		copy(packed[offsets[v]:offsets[v+1]], adj[lo:lo+cnt])
+	})
+	return &Graph{Offsets: offsets, Adj: packed}
+}
+
+func insertionSort(a []uint32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Grid3D builds the paper's 3D-grid graph: side^3 vertices on a
+// 3-dimensional torus, each joined to both neighbors in each dimension
+// (degree 6).
+func Grid3D(side int) *Graph {
+	n := side * side * side
+	edges := make([]Edge, 0, 3*n)
+	idx := func(x, y, z int) uint32 {
+		return uint32((x*side+y)*side + z)
+	}
+	for x := 0; x < side; x++ {
+		for y := 0; y < side; y++ {
+			for z := 0; z < side; z++ {
+				v := idx(x, y, z)
+				edges = append(edges,
+					Edge{v, idx((x+1)%side, y, z)},
+					Edge{v, idx(x, (y+1)%side, z)},
+					Edge{v, idx(x, y, (z+1)%side)},
+				)
+			}
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// Random builds the paper's random graph: n vertices, k edges from each
+// vertex to uniformly random targets.
+func Random(n, k int, seed uint64) *Graph {
+	edges := make([]Edge, n*k)
+	parallel.For(n*k, func(i int) {
+		edges[i] = Edge{uint32(i / k), uint32(hashx.At(seed, i) % uint64(n))}
+	})
+	return FromEdges(n, edges)
+}
+
+// RMat builds an rMat graph with 2^logn vertices and m edge samples,
+// using the standard (a,b,c,d) = (0.57, 0.19, 0.19, 0.05) parameters
+// PBBS uses, with per-level noise. Duplicate arcs are removed, so the
+// resulting arc count is slightly below 2m.
+func RMat(logn, m int, seed uint64) *Graph {
+	n := 1 << uint(logn)
+	edges := make([]Edge, m)
+	parallel.For(m, func(i int) {
+		u, v := 0, 0
+		for level := 0; level < logn; level++ {
+			r := hashx.At(seed+uint64(level), i)
+			// Quadrant probabilities 57/19/19/5, perturbed per level to
+			// break the strict self-similarity (smoothing factor as in
+			// the GTgraph/PBBS generators).
+			p := r % 100
+			switch {
+			case p < 57:
+				// top-left: nothing set
+			case p < 76:
+				v |= 1 << uint(level)
+			case p < 95:
+				u |= 1 << uint(level)
+			default:
+				u |= 1 << uint(level)
+				v |= 1 << uint(level)
+			}
+		}
+		edges[i] = Edge{uint32(u), uint32(v)}
+	})
+	return FromEdges(n, edges)
+}
+
+// Name identifies the paper's graph inputs.
+type Name string
+
+// The graphs of Tables 6-8.
+const (
+	GridName   Name = "3D-grid"
+	RandomName Name = "random"
+	RMatName   Name = "rMat"
+)
+
+// Names lists the paper's graph inputs in presentation order.
+var Names = []Name{GridName, RandomName, RMatName}
+
+// Build constructs one of the paper's graphs scaled to approximately n
+// vertices (the paper uses 10^7 vertices for grid/random and 2^24 for
+// rMat; pass a smaller n to scale the experiment down).
+func Build(name Name, n int, seed uint64) (*Graph, error) {
+	switch name {
+	case GridName:
+		side := 2
+		for side*side*side < n {
+			side++
+		}
+		return Grid3D(side), nil
+	case RandomName:
+		return Random(n, 5, seed), nil
+	case RMatName:
+		logn := 1
+		for 1<<uint(logn) < n {
+			logn++
+		}
+		return RMat(logn, 3*n, seed), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown graph %q", name)
+	}
+}

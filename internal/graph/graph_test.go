@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// checkSymmetric verifies CSR symmetry: u in Adj(v) iff v in Adj(u).
+func checkSymmetric(t *testing.T, g *Graph) {
+	t.Helper()
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			found := false
+			for _, w := range g.Neighbors(int(u)) {
+				if int(w) == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("arc %d->%d has no reverse", v, u)
+			}
+		}
+	}
+}
+
+func checkNoDupOrLoop(t *testing.T, g *Graph) {
+	t.Helper()
+	for v := 0; v < g.NumVertices(); v++ {
+		nbrs := g.Neighbors(v)
+		for i, u := range nbrs {
+			if int(u) == v {
+				t.Fatalf("self-loop at %d", v)
+			}
+			if i > 0 && nbrs[i-1] >= u {
+				t.Fatalf("vertex %d adjacency not strictly sorted: %v", v, nbrs)
+			}
+		}
+	}
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {0, 2}, {1, 1}})
+	if g.NumVertices() != 4 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	// 0-1,1-2,2-3,3-0,0-2 distinct undirected edges -> 10 arcs.
+	if g.NumEdges() != 10 {
+		t.Fatalf("NumEdges = %d, want 10", g.NumEdges())
+	}
+	checkSymmetric(t, g)
+	checkNoDupOrLoop(t, g)
+	if d := g.Degree(0); d != 3 {
+		t.Errorf("Degree(0) = %d, want 3", d)
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	g := Grid3D(4) // 64 vertices, torus => degree exactly 6
+	if g.NumVertices() != 64 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	for v := 0; v < 64; v++ {
+		if g.Degree(v) != 6 {
+			t.Fatalf("Degree(%d) = %d, want 6", v, g.Degree(v))
+		}
+	}
+	checkSymmetric(t, g)
+	checkNoDupOrLoop(t, g)
+}
+
+func TestGrid3DSide2(t *testing.T) {
+	// side=2: +1 and -1 neighbors coincide on a torus; degree is 3.
+	g := Grid3D(2)
+	if g.NumVertices() != 8 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	for v := 0; v < 8; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("Degree(%d) = %d, want 3", v, g.Degree(v))
+		}
+	}
+}
+
+func TestRandomGraph(t *testing.T) {
+	g := Random(1000, 5, 42)
+	if g.NumVertices() != 1000 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	checkSymmetric(t, g)
+	checkNoDupOrLoop(t, g)
+	// About 5 out-edges per vertex before symmetrization: mean degree
+	// close to 10 after.
+	mean := float64(g.NumEdges()) / 1000
+	if mean < 8 || mean > 11 {
+		t.Errorf("mean degree %.2f, want ~10", mean)
+	}
+	// Determinism.
+	h := Random(1000, 5, 42)
+	if h.NumEdges() != g.NumEdges() {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestRMat(t *testing.T) {
+	g := RMat(12, 3*4096, 7)
+	if g.NumVertices() != 4096 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	checkSymmetric(t, g)
+	checkNoDupOrLoop(t, g)
+	// Power-law shape: max degree far above the mean.
+	maxDeg, sum := 0, 0
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.Degree(v)
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := sum / g.NumVertices()
+	if maxDeg < 8*mean {
+		t.Errorf("max degree %d not >> mean %d; rMat should be skewed", maxDeg, mean)
+	}
+}
+
+func TestBuildNames(t *testing.T) {
+	for _, name := range Names {
+		g, err := Build(name, 500, 3)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		if g.NumVertices() < 500 {
+			t.Errorf("Build(%s) has %d vertices, want >= 500", name, g.NumVertices())
+		}
+		checkSymmetric(t, g)
+	}
+	if _, err := Build("nope", 10, 0); err == nil {
+		t.Error("Build(nope) did not error")
+	}
+}
+
+func TestQuickFromEdgesInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		n := 64
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{uint32(raw[i]) % uint32(n), uint32(raw[i+1]) % uint32(n)})
+		}
+		g := FromEdges(n, edges)
+		// Arc count is even (symmetrized) and adjacency sorted/deduped.
+		if g.NumEdges()%2 != 0 {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			nbrs := g.Neighbors(v)
+			for i, u := range nbrs {
+				if int(u) == v || (i > 0 && nbrs[i-1] >= u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package hashx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Unmix64Inverse(t *testing.T) {
+	f := func(x uint64) bool { return Unmix64(Mix64(x)) == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, x := range []uint64{0, 1, ^uint64(0), 1 << 63} {
+		if Unmix64(Mix64(x)) != x {
+			t.Fatalf("inverse broken at %#x", x)
+		}
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip ~32 output bits on average.
+	total := 0
+	samples := 0
+	for i := 0; i < 64; i++ {
+		for _, x := range []uint64{0, 0xdeadbeef, 1 << 40} {
+			d := Mix64(x) ^ Mix64(x^(1<<uint(i)))
+			total += popcount(d)
+			samples++
+		}
+	}
+	mean := float64(total) / float64(samples)
+	if mean < 24 || mean > 40 {
+		t.Fatalf("avalanche mean %.1f bits, want ~32", mean)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestHashStringDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	words := []string{"", "a", "b", "ab", "ba", "abc", "acb", "hello", "hellp"}
+	for _, w := range words {
+		h := HashString(w)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision between %q and %q", prev, w)
+		}
+		seen[h] = w
+	}
+	if HashString("stable") != HashString("stable") {
+		t.Fatal("HashString not deterministic")
+	}
+}
+
+func TestRNGStream(t *testing.T) {
+	r1 := NewRNG(42)
+	r2 := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if r1.Next() != r2.Next() {
+			t.Fatal("same-seed streams differ")
+		}
+	}
+	r3 := NewRNG(43)
+	same := 0
+	r1 = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if r1.Next() == r3.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestRNGBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestAtMatchesJumpAhead(t *testing.T) {
+	// At(seed, i) must be a pure function usable from any goroutine; it
+	// should be uniform-ish and deterministic.
+	if At(5, 100) != At(5, 100) {
+		t.Fatal("At not deterministic")
+	}
+	if At(5, 100) == At(5, 101) || At(5, 100) == At(6, 100) {
+		t.Fatal("At collides on adjacent inputs")
+	}
+	for i := 0; i < 1000; i++ {
+		f := Float64At(9, i)
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64At out of range: %g", f)
+		}
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(123)
+	var buckets [8]int
+	n := 80000
+	for i := 0; i < n; i++ {
+		buckets[r.Next()>>61]++
+	}
+	for b, c := range buckets {
+		if c < n/8*9/10 || c > n/8*11/10 {
+			t.Fatalf("bucket %d has %d, want ~%d", b, c, n/8)
+		}
+	}
+}

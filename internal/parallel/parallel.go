@@ -1,0 +1,204 @@
+// Package parallel provides a small nested fork-join runtime over
+// goroutines: blocked parallel loops, parallel reduction, prefix sums
+// (scans), packing, and sorting. It plays the role the Cilk Plus runtime
+// plays in the paper "Phase-Concurrent Hash Tables for Determinism"
+// (Shun & Blelloch, SPAA 2014): all parallel phases of the hash tables,
+// applications and benchmarks are expressed with these primitives.
+//
+// The package is deterministic in its outputs: every function computes a
+// result that is independent of how goroutines are scheduled. Work is
+// split into contiguous blocks so that per-block results can be combined
+// in index order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxProcs is the degree of parallelism used by all loops in this package.
+// It defaults to runtime.GOMAXPROCS(0) and can be overridden with
+// SetNumWorkers, which the benchmark drivers use for thread-scaling sweeps
+// (Figure 4 of the paper).
+var maxProcs atomic.Int64
+
+func init() {
+	maxProcs.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// SetNumWorkers sets the number of workers used by subsequent parallel
+// operations. n < 1 resets to runtime.GOMAXPROCS(0). It returns the
+// previous value.
+func SetNumWorkers(n int) int {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(maxProcs.Swap(int64(n)))
+}
+
+// NumWorkers reports the current worker count.
+func NumWorkers() int { return int(maxProcs.Load()) }
+
+// minGrain is the smallest block size For will create, to keep goroutine
+// overhead negligible relative to useful work.
+const minGrain = 512
+
+// For runs body(i) for every i in [0, n) using up to NumWorkers()
+// goroutines. Iterations are grouped into contiguous blocks; the grain
+// (block size) is chosen automatically. body must be safe to call
+// concurrently for distinct i.
+func For(n int, body func(i int)) {
+	ForGrain(n, 0, body)
+}
+
+// ForGrain is For with an explicit grain size (0 chooses automatically).
+// A larger grain amortizes scheduling overhead for very cheap bodies; a
+// smaller grain improves load balance for irregular bodies.
+func ForGrain(n, grain int, body func(i int)) {
+	ForBlocked(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForBlocked runs body(lo, hi) over disjoint contiguous blocks covering
+// [0, n). It is the primitive the other loops are built on; use it
+// directly when per-block setup (e.g. a local buffer) matters.
+func ForBlocked(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := NumWorkers()
+	if grain <= 0 {
+		// Aim for ~8 blocks per worker for load balance, but never
+		// below minGrain.
+		grain = n / (8 * p)
+		if grain < minGrain {
+			grain = minGrain
+		}
+	}
+	if p == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	nblocks := (n + grain - 1) / grain
+	if nblocks > 8*p { // cap goroutine count; workers pull block indexes
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(p)
+		for w := 0; w < p; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					b := int(next.Add(1)) - 1
+					if b >= nblocks {
+						return
+					}
+					lo := b * grain
+					hi := lo + grain
+					if hi > n {
+						hi = n
+					}
+					body(lo, hi)
+				}
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(nblocks)
+	for b := 0; b < nblocks; b++ {
+		lo := b * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions in parallel and waits for all of them
+// (parallel invoke / spawn-sync).
+func Do(fs ...func()) {
+	if len(fs) == 0 {
+		return
+	}
+	if len(fs) == 1 || NumWorkers() == 1 {
+		for _, f := range fs {
+			f()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fs) - 1)
+	for _, f := range fs[1:] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	fs[0]()
+	wg.Wait()
+}
+
+// Reduce combines f(i) for i in [0, n) with the associative, commutative
+// operation op, starting from the identity value id. The reduction order
+// within and across blocks is fixed (index order per block, block order
+// at the top), so the result is deterministic even for non-commutative op
+// as long as op is associative.
+func Reduce[T any](n int, id T, op func(a, b T) T, f func(i int) T) T {
+	if n <= 0 {
+		return id
+	}
+	type block struct {
+		lo, hi int
+	}
+	blocks := makeBlocks(n)
+	partial := make([]T, len(blocks))
+	ForGrain(len(blocks), 1, func(b int) {
+		acc := id
+		for i := blocks[b].lo; i < blocks[b].hi; i++ {
+			acc = op(acc, f(i))
+		}
+		partial[b] = acc
+	})
+	acc := id
+	for _, pv := range partial {
+		acc = op(acc, pv)
+	}
+	return acc
+}
+
+type span struct{ lo, hi int }
+
+// makeBlocks splits [0,n) into contiguous spans sized for the current
+// worker count.
+func makeBlocks(n int) []span {
+	p := NumWorkers()
+	grain := n / (8 * p)
+	if grain < minGrain {
+		grain = minGrain
+	}
+	nblocks := (n + grain - 1) / grain
+	blocks := make([]span, 0, nblocks)
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		blocks = append(blocks, span{lo, hi})
+	}
+	return blocks
+}
+
+// Sum is Reduce specialised to integer addition.
+func Sum(n int, f func(i int) int) int {
+	return Reduce(n, 0, func(a, b int) int { return a + b }, f)
+}

@@ -1,0 +1,260 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 513, 100000} {
+		hits := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForBlockedDisjointCover(t *testing.T) {
+	n := 50000
+	hits := make([]int32, n)
+	ForBlocked(n, 777, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad block [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b, c atomic.Int32
+	Do(
+		func() { a.Store(1) },
+		func() { b.Store(2) },
+		func() { c.Store(3) },
+	)
+	if a.Load() != 1 || b.Load() != 2 || c.Load() != 3 {
+		t.Fatal("Do did not run all functions")
+	}
+	Do() // no-op
+}
+
+func TestReduce(t *testing.T) {
+	n := 100000
+	got := Reduce(n, 0, func(a, b int) int { return a + b }, func(i int) int { return i })
+	want := n * (n - 1) / 2
+	if got != want {
+		t.Fatalf("Reduce sum = %d, want %d", got, want)
+	}
+	if got := Sum(0, func(int) int { return 1 }); got != 0 {
+		t.Fatalf("empty Sum = %d", got)
+	}
+	// Max via Reduce.
+	xs := []int{3, 9, 2, 9, 1}
+	m := Reduce(len(xs), -1, func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	}, func(i int) int { return xs[i] })
+	if m != 9 {
+		t.Fatalf("max = %d", m)
+	}
+}
+
+func TestScanMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 4097, 300000} {
+		src := make([]int, n)
+		for i := range src {
+			src[i] = (i*7)%13 - 3
+		}
+		want := make([]int, n)
+		s := 0
+		for i, v := range src {
+			want[i] = s
+			s += v
+		}
+		dst := make([]int, n)
+		total := Scan(dst, src)
+		if total != s {
+			t.Fatalf("n=%d: total %d, want %d", n, total, s)
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d: dst[%d] = %d, want %d", n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScanInPlace(t *testing.T) {
+	n := 100000
+	src := make([]int, n)
+	for i := range src {
+		src[i] = 1
+	}
+	Scan(src, src)
+	for i := range src {
+		if src[i] != i {
+			t.Fatalf("in-place scan wrong at %d: %d", i, src[i])
+		}
+	}
+}
+
+func TestScanInclusive(t *testing.T) {
+	src := []int{1, 2, 3, 4}
+	dst := make([]int, 4)
+	total := ScanInclusive(dst, src)
+	want := []int{1, 3, 6, 10}
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestPack(t *testing.T) {
+	n := 100000
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	got := Pack(xs, func(i int) bool { return xs[i]%3 == 0 })
+	for j, v := range got {
+		if v != 3*j {
+			t.Fatalf("Pack[%d] = %d, want %d", j, v, 3*j)
+		}
+	}
+	if len(got) != (n+2)/3 {
+		t.Fatalf("Pack len = %d", len(got))
+	}
+	idx := PackIndex(10, func(i int) bool { return i%2 == 1 })
+	want := []int{1, 3, 5, 7, 9}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("PackIndex = %v", idx)
+		}
+	}
+	if Count(100, func(i int) bool { return i < 42 }) != 42 {
+		t.Fatal("Count wrong")
+	}
+}
+
+func TestPackInto(t *testing.T) {
+	xs := []uint64{5, 0, 7, 0, 9}
+	dst := make([]uint64, 5)
+	n := PackInto(dst, xs, func(i int) bool { return xs[i] != 0 })
+	if n != 3 || dst[0] != 5 || dst[1] != 7 || dst[2] != 9 {
+		t.Fatalf("PackInto = %v (n=%d)", dst, n)
+	}
+}
+
+func TestSort(t *testing.T) {
+	n := 200000
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = (i * 1103515245) % 1000003
+	}
+	Sort(xs, func(a, b int) bool { return a < b })
+	for i := 1; i < n; i++ {
+		if xs[i-1] > xs[i] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestSortIntsMatchesSort(t *testing.T) {
+	f := func(raw []uint64) bool {
+		a := append([]uint64(nil), raw...)
+		b := append([]uint64(nil), raw...)
+		SortInts(a)
+		Sort(b, func(x, y uint64) bool { return x < y })
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	// Large case to exercise the parallel radix path.
+	n := 300000
+	xs := make([]uint64, n)
+	for i := range xs {
+		xs[i] = uint64((i*2654435761)%1000000007) << 7
+	}
+	SortInts(xs)
+	for i := 1; i < n; i++ {
+		if xs[i-1] > xs[i] {
+			t.Fatalf("radix sort out of order at %d", i)
+		}
+	}
+}
+
+func TestSortPairs(t *testing.T) {
+	keys := []uint64{3, 1, 3, 2}
+	vals := []uint64{9, 8, 7, 6}
+	SortPairs(keys, vals)
+	wantK := []uint64{1, 2, 3, 3}
+	wantV := []uint64{8, 6, 7, 9}
+	for i := range wantK {
+		if keys[i] != wantK[i] || vals[i] != wantV[i] {
+			t.Fatalf("SortPairs = %v/%v", keys, vals)
+		}
+	}
+}
+
+func TestSetNumWorkers(t *testing.T) {
+	old := SetNumWorkers(1)
+	defer SetNumWorkers(old)
+	if NumWorkers() != 1 {
+		t.Fatal("SetNumWorkers(1) ignored")
+	}
+	// Loops still work single-threaded.
+	total := Sum(1000, func(i int) int { return 1 })
+	if total != 1000 {
+		t.Fatalf("Sum = %d", total)
+	}
+	SetNumWorkers(0) // resets to GOMAXPROCS
+	if NumWorkers() < 1 {
+		t.Fatal("reset failed")
+	}
+}
+
+// Determinism: results independent of worker count.
+func TestScanDeterministicAcrossWorkers(t *testing.T) {
+	n := 123457
+	src := make([]int, n)
+	for i := range src {
+		src[i] = i % 17
+	}
+	ref := make([]int, n)
+	old := SetNumWorkers(1)
+	Scan(ref, src)
+	for _, w := range []int{2, 3, 8} {
+		SetNumWorkers(w)
+		dst := make([]int, n)
+		Scan(dst, src)
+		for i := range ref {
+			if dst[i] != ref[i] {
+				t.Fatalf("workers=%d: scan differs at %d", w, i)
+			}
+		}
+	}
+	SetNumWorkers(old)
+}

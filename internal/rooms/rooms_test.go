@@ -1,0 +1,131 @@
+package rooms
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSingleRoomMutualConcurrency(t *testing.T) {
+	r := New(2)
+	var inside, maxInside atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.With(0, func() {
+				v := inside.Add(1)
+				for {
+					m := maxInside.Load()
+					if v <= m || maxInside.CompareAndSwap(m, v) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				inside.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if maxInside.Load() < 2 {
+		t.Errorf("max concurrent occupancy %d; same-room entrants should share", maxInside.Load())
+	}
+}
+
+func TestRoomsMutuallyExclusive(t *testing.T) {
+	r := New(3)
+	var open atomic.Int32 // which room believes it is open (+1), 0 = none
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			room := g % 3
+			for i := 0; i < 200; i++ {
+				r.With(room, func() {
+					prev := open.Swap(int32(room + 1))
+					if prev != 0 && prev != int32(room+1) {
+						violations.Add(1)
+					}
+					// Leave the marker set while inside; reset only if
+					// we were the ones to set it from 0.
+					if prev == 0 {
+						defer open.CompareAndSwap(int32(room+1), 0)
+					}
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d cross-room overlaps observed", violations.Load())
+	}
+}
+
+func TestRotationFairness(t *testing.T) {
+	// A continuous stream into room 0 must not starve room 1.
+	r := New(2)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				r.With(0, func() {})
+			}
+		}()
+	}
+	got := make(chan struct{})
+	go func() {
+		r.With(1, func() { close(got) })
+	}()
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Error("room 1 starved for 5s by room 0 traffic")
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestExitWithoutEnterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exit without Enter did not panic")
+		}
+	}()
+	New(2).Exit(0)
+}
+
+func TestBadRoomIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad id did not panic")
+		}
+	}()
+	New(2).Enter(5)
+}
+
+func TestOccupancy(t *testing.T) {
+	r := New(2)
+	if room, n := r.Occupancy(); room != -1 || n != 0 {
+		t.Fatalf("initial occupancy (%d,%d)", room, n)
+	}
+	r.Enter(1)
+	if room, n := r.Occupancy(); room != 1 || n != 1 {
+		t.Fatalf("occupancy (%d,%d), want (1,1)", room, n)
+	}
+	r.Exit(1)
+	if room, n := r.Occupancy(); room != -1 || n != 0 {
+		t.Fatalf("post-exit occupancy (%d,%d)", room, n)
+	}
+}

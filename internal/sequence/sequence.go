@@ -1,0 +1,224 @@
+// Package sequence generates the paper's six input distributions, which
+// come from the Problem Based Benchmark Suite (PBBS):
+//
+//	randomSeq-int       n uniform random integers in [1, n]
+//	randomSeq-pairInt   the same keys with uniform random integer values
+//	exptSeq-int         n integers from an exponential distribution
+//	                    (heavy repetition of small keys)
+//	exptSeq-pairInt     exponential keys with values
+//	trigramSeq          n word strings from a trigram model of English
+//	                    text (many duplicate keys)
+//	trigramSeq-pairInt  trigram words with integer values
+//
+// PBBS ships data files; we generate the same distributions from fixed
+// seeds (see DESIGN.md substitutions), so runs are exactly reproducible.
+// Generation is parallel and schedule-independent: the i-th element is a
+// pure function of (seed, i).
+package sequence
+
+import (
+	"math"
+
+	"phasehash/internal/core"
+	"phasehash/internal/hashx"
+	"phasehash/internal/parallel"
+)
+
+// Distribution names the paper's input distributions.
+type Distribution string
+
+// The input distributions of the paper's Section 6.
+const (
+	RandomInt      Distribution = "randomSeq-int"
+	RandomPairInt  Distribution = "randomSeq-pairInt"
+	TrigramStr     Distribution = "trigramSeq"
+	TrigramPairInt Distribution = "trigramSeq-pairInt"
+	ExptInt        Distribution = "exptSeq-int"
+	ExptPairInt    Distribution = "exptSeq-pairInt"
+)
+
+// WordDistributions lists the distributions representable as single-word
+// elements (integer keys).
+var WordDistributions = []Distribution{RandomInt, RandomPairInt, ExptInt, ExptPairInt}
+
+// AllDistributions lists every distribution in the paper's column order.
+var AllDistributions = []Distribution{
+	RandomInt, RandomPairInt, TrigramStr, TrigramPairInt, ExptInt, ExptPairInt,
+}
+
+// IsPair reports whether the distribution carries values.
+func (d Distribution) IsPair() bool {
+	return d == RandomPairInt || d == TrigramPairInt || d == ExptPairInt
+}
+
+// IsString reports whether the distribution's keys are strings.
+func (d Distribution) IsString() bool {
+	return d == TrigramStr || d == TrigramPairInt
+}
+
+// RandomKeys returns n uniform keys in [1, n] (randomSeq-int).
+func RandomKeys(n int, seed uint64) []uint64 {
+	out := make([]uint64, n)
+	parallel.For(n, func(i int) {
+		out[i] = hashx.At(seed, i)%uint64(n) + 1
+	})
+	return out
+}
+
+// RandomPairs returns n elements with uniform keys in [1, n] and uniform
+// 31-bit values, packed as core.Pair (randomSeq-pairInt). Key range is
+// capped at 2^31 to fit the packed representation.
+func RandomPairs(n int, seed uint64) []uint64 {
+	kr := keyRange(n)
+	out := make([]uint64, n)
+	parallel.For(n, func(i int) {
+		k := uint32(hashx.At(seed, i)%kr) + 1
+		v := uint32(hashx.At(seed+1, i) >> 33)
+		out[i] = core.Pair(k, v)
+	})
+	return out
+}
+
+func keyRange(n int) uint64 {
+	kr := uint64(n)
+	if kr > math.MaxUint32-1 {
+		kr = math.MaxUint32 - 1
+	}
+	return kr
+}
+
+// exptKey draws from the PBBS exponential distribution: keys follow an
+// exponential density with mean n/10, so small keys repeat heavily (the
+// paper uses this input to stress collision handling and contention).
+func exptKey(n int, seed uint64, i int) uint64 {
+	u := hashx.Float64At(seed, i)
+	if u <= 0 {
+		u = 0.5 / (1 << 53)
+	}
+	k := uint64(-math.Log(u) * float64(n) / 10.0)
+	if k >= uint64(n) {
+		k = uint64(n) - 1
+	}
+	return k + 1
+}
+
+// ExptKeys returns n keys from the exponential distribution (exptSeq-int).
+func ExptKeys(n int, seed uint64) []uint64 {
+	out := make([]uint64, n)
+	parallel.For(n, func(i int) { out[i] = exptKey(n, seed, i) })
+	return out
+}
+
+// ExptPairs returns exponential keys with uniform values (exptSeq-pairInt).
+func ExptPairs(n int, seed uint64) []uint64 {
+	kr := int(keyRange(n))
+	out := make([]uint64, n)
+	parallel.For(n, func(i int) {
+		k := uint32(exptKey(kr, seed, i))
+		v := uint32(hashx.At(seed+1, i) >> 33)
+		out[i] = core.Pair(k, v)
+	})
+	return out
+}
+
+// WordElements dispatches on the distribution for the single-word
+// element inputs used by the hash-table benchmarks.
+func WordElements(d Distribution, n int, seed uint64) []uint64 {
+	switch d {
+	case RandomInt:
+		return RandomKeys(n, seed)
+	case RandomPairInt:
+		return RandomPairs(n, seed)
+	case ExptInt:
+		return ExptKeys(n, seed)
+	case ExptPairInt:
+		return ExptPairs(n, seed)
+	case TrigramStr:
+		return TrigramKeys(n, seed)
+	case TrigramPairInt:
+		return TrigramKeyPairs(n, seed)
+	default:
+		panic("sequence: unknown distribution " + string(d))
+	}
+}
+
+// StrPair is a string-keyed element with an integer value, stored by
+// pointer in core.PtrTable (the paper's trigramSeq-pairInt layout: "a
+// pointer to a structure with a pointer to a string").
+type StrPair struct {
+	Key string
+	Val uint64
+}
+
+// TrigramWords returns n words drawn from the trigram model (trigramSeq).
+func TrigramWords(n int, seed uint64) []string {
+	out := make([]string, n)
+	parallel.For(n, func(i int) { out[i] = trigramWordAt(seed, i) })
+	return out
+}
+
+// TrigramPairs returns n string-keyed pairs (trigramSeq-pairInt).
+func TrigramPairs(n int, seed uint64) []*StrPair {
+	out := make([]*StrPair, n)
+	parallel.For(n, func(i int) {
+		out[i] = &StrPair{Key: trigramWordAt(seed, i), Val: hashx.At(seed+1, i)}
+	})
+	return out
+}
+
+// TrigramKeys returns the trigram word stream mapped to 64-bit integer
+// keys via string hashing. The duplicate structure of trigramSeq is
+// preserved exactly (equal words map to equal keys); the per-operation
+// string-compare cost is not — the word-element comparison tables use
+// this adapter, while linearHash-D is additionally benchmarked on the
+// true string elements through the pointer table (see DESIGN.md,
+// substitutions).
+func TrigramKeys(n int, seed uint64) []uint64 {
+	out := make([]uint64, n)
+	parallel.For(n, func(i int) {
+		out[i] = hashx.HashString(trigramWordAt(seed, i)) | 1
+	})
+	return out
+}
+
+// TrigramKeyPairs is TrigramKeys packed with integer values
+// (trigramSeq-pairInt for the word-element tables; keys are truncated to
+// 31 bits, which preserves the duplicate-heavy structure at benchmark
+// scales).
+func TrigramKeyPairs(n int, seed uint64) []uint64 {
+	out := make([]uint64, n)
+	parallel.For(n, func(i int) {
+		k := uint32(hashx.HashString(trigramWordAt(seed, i))>>33) | 1
+		v := uint32(hashx.At(seed+1, i) >> 33)
+		out[i] = core.Pair(k, v)
+	})
+	return out
+}
+
+// StrPairOps adapts StrPair to core.PtrOps with min-value duplicate
+// resolution; the priority order is lexicographic on keys.
+type StrPairOps struct{}
+
+// Hash implements core.PtrOps.
+func (StrPairOps) Hash(e *StrPair) uint64 { return hashx.HashString(e.Key) }
+
+// Cmp implements core.PtrOps.
+func (StrPairOps) Cmp(a, b *StrPair) int {
+	switch {
+	case a.Key < b.Key:
+		return -1
+	case a.Key > b.Key:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Merge implements core.PtrOps (keep the smaller value, a deterministic
+// commutative choice).
+func (StrPairOps) Merge(cur, new *StrPair) *StrPair {
+	if new.Val < cur.Val {
+		return new
+	}
+	return cur
+}

@@ -1,0 +1,181 @@
+package sequence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phasehash/internal/core"
+	"phasehash/internal/parallel"
+)
+
+func TestRandomKeysRangeAndDeterminism(t *testing.T) {
+	a := RandomKeys(10000, 7)
+	b := RandomKeys(10000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed differs at %d", i)
+		}
+		if a[i] < 1 || a[i] > 10000 {
+			t.Fatalf("key %d out of [1,n]", a[i])
+		}
+	}
+	c := RandomKeys(10000, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different seeds produced %d identical positions", same)
+	}
+}
+
+func TestRandomKeysUniformity(t *testing.T) {
+	n := 100000
+	keys := RandomKeys(n, 3)
+	const buckets = 16
+	var counts [buckets]int
+	for _, k := range keys {
+		counts[(k-1)*buckets/uint64(n)]++
+	}
+	want := n / buckets
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("bucket %d has %d keys, want ~%d", b, c, want)
+		}
+	}
+}
+
+func TestRandomKeysScheduleIndependent(t *testing.T) {
+	n := 50000
+	old := parallel.SetNumWorkers(1)
+	a := RandomKeys(n, 11)
+	parallel.SetNumWorkers(4)
+	b := RandomKeys(n, 11)
+	parallel.SetNumWorkers(old)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("worker count changed the sequence at %d", i)
+		}
+	}
+}
+
+func TestExptKeysSkew(t *testing.T) {
+	n := 100000
+	keys := ExptKeys(n, 5)
+	// The exponential distribution concentrates on small keys: well over
+	// a third of draws should land in the bottom 1/8 of the range, unlike
+	// uniform (1/8).
+	small := 0
+	for _, k := range keys {
+		if k <= uint64(n/8) {
+			small++
+		}
+		if k < 1 || k > uint64(n)+1 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+	if small < n/3 {
+		t.Errorf("only %d/%d keys in bottom eighth; distribution not skewed", small, n)
+	}
+	// And it must contain many duplicates.
+	set := map[uint64]bool{}
+	for _, k := range keys {
+		set[k] = true
+	}
+	if len(set) > n*3/4 {
+		t.Errorf("exponential sequence has %d distinct of %d; expected heavy repetition", len(set), n)
+	}
+}
+
+func TestPairElementsWellFormed(t *testing.T) {
+	for _, d := range []Distribution{RandomPairInt, ExptPairInt} {
+		elems := WordElements(d, 20000, 9)
+		for _, e := range elems {
+			if core.PairKey(e) == 0 {
+				t.Fatalf("%s produced key 0 (reserved)", d)
+			}
+		}
+	}
+}
+
+func TestTrigramWordsShape(t *testing.T) {
+	words := TrigramWords(50000, 13)
+	dist := map[string]int{}
+	totalLen := 0
+	for _, w := range words {
+		if len(w) == 0 || len(w) > maxWordLen {
+			t.Fatalf("word %q has bad length", w)
+		}
+		for i := 0; i < len(w); i++ {
+			if w[i] < 'a' || w[i] > 'z' {
+				t.Fatalf("word %q has non-letter", w)
+			}
+		}
+		dist[w]++
+		totalLen += len(w)
+	}
+	mean := float64(totalLen) / float64(len(words))
+	if mean < 2.5 || mean > 9 {
+		t.Errorf("mean word length %.2f outside plausible English range", mean)
+	}
+	// Heavy duplication is the point of this input.
+	if len(dist) > len(words)/2 {
+		t.Errorf("trigram sequence has %d distinct of %d words; want many duplicates", len(dist), len(words))
+	}
+	// Determinism.
+	again := TrigramWords(50000, 13)
+	for i := range words {
+		if words[i] != again[i] {
+			t.Fatalf("trigram stream not deterministic at %d", i)
+		}
+	}
+}
+
+func TestTrigramPairsInPtrTable(t *testing.T) {
+	pairs := TrigramPairs(20000, 21)
+	tab := core.NewPtrTable[StrPair, StrPairOps](1 << 16)
+	parallel.ForGrain(len(pairs), 1, func(i int) { tab.Insert(pairs[i]) })
+	if err := tab.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]uint64{}
+	for _, p := range pairs {
+		if v, ok := distinct[p.Key]; !ok || p.Val < v {
+			distinct[p.Key] = p.Val
+		}
+	}
+	if got := tab.Count(); got != len(distinct) {
+		t.Fatalf("Count = %d, want %d distinct words", got, len(distinct))
+	}
+	// Min-merge semantics: stored value is the minimum for each key.
+	for _, e := range tab.Elements() {
+		if e.Val != distinct[e.Key] {
+			t.Fatalf("key %q stored value %d, want min %d", e.Key, e.Val, distinct[e.Key])
+		}
+	}
+	// Determinism of Elements across rebuild.
+	tab2 := core.NewPtrTable[StrPair, StrPairOps](1 << 16)
+	parallel.ForGrain(len(pairs), 1, func(i int) { tab2.Insert(pairs[i]) })
+	a, b := tab.Elements(), tab2.Elements()
+	if len(a) != len(b) {
+		t.Fatal("Elements length differs across builds")
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Val != b[i].Val {
+			t.Fatalf("Elements differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestQuickExptKeyInRange(t *testing.T) {
+	f := func(seed uint64, i uint16, nRaw uint16) bool {
+		n := int(nRaw) + 2
+		k := exptKey(n, seed, int(i))
+		return k >= 1 && k <= uint64(n)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

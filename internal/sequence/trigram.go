@@ -1,0 +1,76 @@
+package sequence
+
+import (
+	"phasehash/internal/hashx"
+)
+
+// The trigram word generator follows PBBS's trigramSeq: words are drawn
+// from a Markov model of English letter statistics, producing a Zipf-like
+// key distribution with many duplicates (short common words recur
+// constantly). PBBS loads its model from a data file built from an
+// English corpus; we embed a compact second-order approximation — a
+// weighted successor table keyed on the previous letter — derived from
+// standard English digram frequency tables. The exact probabilities do
+// not matter for the experiments; the heavy duplication and
+// variable-length string keys do.
+
+// startLetters weights first letters by English word-initial frequency
+// (t, a, o, s, w, ... dominate). Sampling is by uniform index into the
+// string, so repetition encodes weight.
+const startLetters = "ttttaaaooosssswwwwhhhiiibbbmmmfffcccdddpppnnnlllrrreeegguuvvyyjkqxz"
+
+// successors[c-'a'] weights the letter following c. Built from digram
+// tables (th, he, in, er, an, re, on, at, en, nd, ti, es, or, te, ...).
+var successors = [26]string{
+	'a' - 'a': "nnnnttttssssrrrlllcccdddmmbbppgvyiufkwhaexzjoq",
+	'b' - 'a': "eeeeaaalllooouuurrryyisbjtvm",
+	'c' - 'a': "oooohhhheeeaaatttkkklliiirrruusyc",
+	'd' - 'a': "eeeeiiiaaaooosssuuurrydlgvmn",
+	'e' - 'a': "rrrrnnnnsssdddaaalllttmmcccvvpppxyfgwhiuobqkz",
+	'f' - 'a': "oooiiirrreeeaaauullftys",
+	'g' - 'a': "eeehhhaaaooorrriiiuuullstgny",
+	'h' - 'a': "eeeeeeaaaiiiooottruysmlnb",
+	'i' - 'a': "nnnnnssssttttcccooolllddmmmgggvvvrreeafpbzkxu",
+	'j' - 'a': "uuuooaaei",
+	'k' - 'a': "eeeiiinnnssylaoru",
+	'l' - 'a': "llleeeiiiaaaooouuuyyysdtfmkvp",
+	'm' - 'a': "eeeaaaiiioooppuuubbmsyn",
+	'n' - 'a': "dddgggeeettticccooosssaauukkvyjfmn",
+	'o' - 'a': "nnnnrrrruuuummmttttllswwvppfdcckbiagoexyhzjq",
+	'p' - 'a': "eeeaaarrroooliiihhtuupsy",
+	'q' - 'a': "uuuuuuuu",
+	'r' - 'a': "eeeeaaaiiioootttsssyyydddmmnnkcglufvbp",
+	's' - 'a': "tttteeeessshhhiiiooouuupppaaaccmkwlnyfqb",
+	't' - 'a': "hhhhhheeeiiioooaaarrrsssuuttyylwcmnz",
+	'u' - 'a': "rrrnnnsssttlllpppcccmmgggbbdddaeiofkvxzy",
+	'v' - 'a': "eeeeiiiaaaoouy",
+	'w' - 'a': "aaahhheeeiiioonnsrly",
+	'x' - 'a': "ppptttiiaaceou",
+	'y' - 'a': "ooosssetmpiacdblnrwu",
+	'z' - 'a': "eeeaaiizoluy",
+}
+
+// maxWordLen caps generated word length.
+const maxWordLen = 16
+
+// trigramWordAt deterministically generates the i-th word of the stream.
+func trigramWordAt(seed uint64, i int) string {
+	r := hashx.NewRNG(hashx.At(seed, i))
+	var buf [maxWordLen]byte
+	c := startLetters[r.Intn(len(startLetters))]
+	buf[0] = c
+	n := 1
+	for n < maxWordLen {
+		// Geometric continuation: ~70% chance of another letter, giving
+		// short word-token lengths (English running text averages ~4.7
+		// characters) and the heavy duplication the input exists for.
+		if r.Next()%100 >= 70 {
+			break
+		}
+		succ := successors[c-'a']
+		c = succ[r.Intn(len(succ))]
+		buf[n] = c
+		n++
+	}
+	return string(buf[:n])
+}

@@ -1,0 +1,96 @@
+// Package suffix builds suffix arrays, LCP arrays and suffix trees — the
+// substrate of the paper's suffix-tree application (Section 5, Table 5).
+// The suffix tree stores each internal node's children in a hash table
+// keyed by (node, first character), exactly the representation the paper
+// benchmarks: tree construction ends with a parallel phase inserting all
+// child edges (a pure insert phase), and searches are pure find phases.
+package suffix
+
+import (
+	"phasehash/internal/parallel"
+)
+
+// Array computes the suffix array of s (indices of suffixes in
+// lexicographic order) by parallel prefix doubling: O(log n) rounds of
+// sorting (rank, rank+k) pairs.
+func Array(s []byte) []int32 {
+	n := len(s)
+	if n == 0 {
+		return nil
+	}
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+	type item struct {
+		key uint64
+		idx int32
+	}
+	items := make([]item, n)
+	parallel.For(n, func(i int) {
+		sa[i] = int32(i)
+		rank[i] = int32(s[i])
+	})
+	for k := 1; ; k *= 2 {
+		// Key: (rank[i], rank[i+k]) packed; absent second rank sorts
+		// first (0; real ranks are offset by 1).
+		parallel.For(n, func(i int) {
+			hi := uint64(rank[i]) + 1
+			lo := uint64(0)
+			if i+k < n {
+				lo = uint64(rank[i+k]) + 1
+			}
+			items[i] = item{key: hi<<32 | lo, idx: int32(i)}
+		})
+		parallel.Sort(items, func(a, b item) bool {
+			if a.key != b.key {
+				return a.key < b.key
+			}
+			return a.idx < b.idx
+		})
+		// Re-rank.
+		newRank := tmp
+		newRank[items[0].idx] = 0
+		distinct := int32(0)
+		for i := 1; i < n; i++ {
+			if items[i].key != items[i-1].key {
+				distinct++
+			}
+			newRank[items[i].idx] = distinct
+		}
+		parallel.For(n, func(i int) { sa[i] = items[i].idx })
+		rank, tmp = newRank, rank
+		if distinct == int32(n-1) {
+			break
+		}
+	}
+	return sa
+}
+
+// LCPArray computes lcp[i] = length of the longest common prefix of
+// suffixes sa[i-1] and sa[i] (lcp[0] = 0) with Kasai's algorithm.
+func LCPArray(s []byte, sa []int32) []int32 {
+	n := len(s)
+	lcp := make([]int32, n)
+	if n == 0 {
+		return lcp
+	}
+	rank := make([]int32, n)
+	parallel.For(n, func(i int) { rank[sa[i]] = int32(i) })
+	h := 0
+	for i := 0; i < n; i++ {
+		r := rank[i]
+		if r == 0 {
+			h = 0
+			continue
+		}
+		j := int(sa[r-1])
+		for i+h < n && j+h < n && s[i+h] == s[j+h] {
+			h++
+		}
+		lcp[r] = int32(h)
+		if h > 0 {
+			h--
+		}
+	}
+	return lcp
+}

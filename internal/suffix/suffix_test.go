@@ -1,0 +1,200 @@
+package suffix
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"phasehash/internal/hashx"
+	"phasehash/internal/tables"
+)
+
+// naiveSA is the O(n^2 log n) reference.
+func naiveSA(s []byte) []int32 {
+	n := len(s)
+	sa := make([]int32, n)
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	sort.Slice(sa, func(a, b int) bool {
+		return bytes.Compare(s[sa[a]:], s[sa[b]:]) < 0
+	})
+	return sa
+}
+
+func naiveLCP(s []byte, sa []int32) []int32 {
+	lcp := make([]int32, len(sa))
+	for i := 1; i < len(sa); i++ {
+		a, b := s[sa[i-1]:], s[sa[i]:]
+		l := 0
+		for l < len(a) && l < len(b) && a[l] == b[l] {
+			l++
+		}
+		lcp[i] = int32(l)
+	}
+	return lcp
+}
+
+func TestArrayAgainstNaive(t *testing.T) {
+	cases := [][]byte{
+		[]byte("banana"),
+		[]byte("mississippi"),
+		[]byte("aaaaaaa"),
+		[]byte("abcabcabc"),
+		[]byte("z"),
+		[]byte("ba"),
+	}
+	for _, s := range cases {
+		got := Array(s)
+		want := naiveSA(s)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Array(%q) = %v, want %v", s, got, want)
+			}
+		}
+		gotL := LCPArray(s, got)
+		wantL := naiveLCP(s, want)
+		for i := range wantL {
+			if gotL[i] != wantL[i] {
+				t.Fatalf("LCP(%q) = %v, want %v", s, gotL, wantL)
+			}
+		}
+	}
+}
+
+func TestQuickArray(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Small alphabet maximizes repeats.
+		s := make([]byte, len(raw))
+		for i, b := range raw {
+			s[i] = 'a' + b%4
+		}
+		got := Array(s)
+		want := naiveSA(s)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomText(n int, sigma byte, seed uint64) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = 'a' + byte(hashx.At(seed, i)%uint64(sigma))
+	}
+	return s
+}
+
+func TestLargeRandomTextSorted(t *testing.T) {
+	s := randomText(20000, 3, 5)
+	sa := Array(s)
+	for i := 1; i < len(sa); i++ {
+		if bytes.Compare(s[sa[i-1]:], s[sa[i]:]) >= 0 {
+			t.Fatalf("suffixes %d and %d out of order", i-1, i)
+		}
+	}
+}
+
+func TestTreeContains(t *testing.T) {
+	text := []byte("the quick brown fox jumps over the lazy dog the end")
+	tree := New(text)
+	tree.BuildIndex(tables.LinearD)
+	// Every substring is found.
+	for lo := 0; lo < len(text); lo += 3 {
+		for hi := lo + 1; hi <= len(text); hi += 5 {
+			if !tree.Contains(text[lo:hi]) {
+				t.Fatalf("substring %q not found", text[lo:hi])
+			}
+		}
+	}
+	for _, bad := range []string{"quack", "foxy ", "zzz", "the quick brown foxx"} {
+		if tree.Contains([]byte(bad)) {
+			t.Fatalf("non-substring %q reported found", bad)
+		}
+	}
+	if !tree.Contains(nil) {
+		t.Error("empty pattern must match")
+	}
+}
+
+func TestTreeNodeCountBounds(t *testing.T) {
+	s := randomText(5000, 4, 9)
+	tree := New(s)
+	n := len(s) + 1 // with terminator
+	if tree.NumNodes() < n+1 || tree.NumNodes() > 2*n {
+		t.Fatalf("node count %d outside (n, 2n] for n=%d", tree.NumNodes(), n)
+	}
+	// Depths increase parent -> child, and the root has depth 0.
+	if tree.Depth[tree.Root] != 0 {
+		t.Fatal("root depth not 0")
+	}
+	for v := 0; v < tree.NumNodes(); v++ {
+		p := tree.Parent[v]
+		if int32(v) == tree.Root {
+			continue
+		}
+		if p < 0 {
+			t.Fatalf("node %d has no parent", v)
+		}
+		if tree.Depth[p] >= tree.Depth[v] {
+			t.Fatalf("node %d depth %d <= parent %d depth %d", v, tree.Depth[v], p, tree.Depth[p])
+		}
+	}
+}
+
+func TestQuickTreeSearchMatchesBytesContains(t *testing.T) {
+	f := func(raw []byte, pat []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := make([]byte, len(raw))
+		for i, b := range raw {
+			s[i] = 'a' + b%3
+		}
+		p := make([]byte, len(pat)%8)
+		for i := range p {
+			p[i] = 'a' + pat[i]%3
+		}
+		tree := New(s)
+		tree.BuildIndex(tables.LinearD)
+		return tree.Contains(p) == bytes.Contains(s, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeAllSuffixesReachable(t *testing.T) {
+	s := []byte("abracadabra")
+	tree := New(s)
+	tree.BuildIndex(tables.LinearD)
+	for i := range s {
+		if !tree.Contains(s[i:]) {
+			t.Fatalf("suffix %q not found", s[i:])
+		}
+	}
+}
+
+func TestBuildIndexKinds(t *testing.T) {
+	s := randomText(3000, 5, 21)
+	for _, kind := range []tables.Kind{tables.LinearD, tables.LinearND, tables.Cuckoo, tables.ChainedCR, tables.SerialHI} {
+		tree := New(s)
+		tab := tree.BuildIndex(kind)
+		if tab.Count() != tree.NumNodes()-1 {
+			t.Fatalf("%s: index has %d edges, want %d", kind, tab.Count(), tree.NumNodes()-1)
+		}
+		if !tree.Contains(s[100:150]) {
+			t.Fatalf("%s: substring lost", kind)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package tables
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"phasehash/internal/core"
+	"phasehash/internal/parallel"
+)
+
+// hopRange is the neighborhood size H: every element lives within H-1
+// cells of its home bucket, so a find touches at most two cache lines of
+// the bitmap-directed probes. Herlihy et al. suggest the machine word
+// size; we use 64 to match our 64-bit hop-info words.
+const hopRange = 64
+
+// hopSegBits groups 2^hopSegBits buckets per lock/timestamp segment.
+const hopSegBits = 6
+
+// HopscotchTable is hopscotchHash (Herlihy, Shavit & Tzafrir, DISC
+// 2008): open addressing where each home bucket carries a 64-bit
+// "hop-info" bitmap of the neighborhood cells holding its elements.
+// Inserts that find an empty cell too far away repeatedly displace
+// closer-homed elements backward until the empty cell is within range.
+//
+// withTimestamps selects the fully-concurrent original: each bucket
+// segment has a timestamp bumped by displacements, and finds retry when
+// it moved under them. The paper observes the timestamp is dead weight
+// when operation types are phase-separated; hopscotchHash-PC
+// (withTimestamps=false) removes it, exactly like the paper's
+// modification.
+type HopscotchTable[O core.Ops] struct {
+	ops   O
+	cells []uint64
+	hop   []uint64 // per-bucket neighborhood bitmaps
+	ts    []atomic.Uint32
+	locks []sync.Mutex
+	mask  int
+	count atomic.Int64
+
+	withTimestamps bool
+}
+
+// hopBusy is a reserved cell value marking a slot claimed by an in-flight
+// insert. It is never visible through a hop bitmap.
+const hopBusy = ^uint64(0)
+
+// NewHopscotch returns a hopscotch table with at least size cells.
+func NewHopscotch[O core.Ops](size int, withTimestamps bool) *HopscotchTable[O] {
+	m := ceilPow2(size)
+	nseg := m >> hopSegBits
+	if nseg < 1 {
+		nseg = 1
+	}
+	return &HopscotchTable[O]{
+		cells:          make([]uint64, m),
+		hop:            make([]uint64, m),
+		ts:             make([]atomic.Uint32, nseg),
+		locks:          make([]sync.Mutex, nseg),
+		mask:           m - 1,
+		withTimestamps: withTimestamps,
+	}
+}
+
+// Size implements Table.
+func (t *HopscotchTable[O]) Size() int { return len(t.cells) }
+
+func (t *HopscotchTable[O]) home(e uint64) int { return int(t.ops.Hash(e)) & t.mask }
+
+func (t *HopscotchTable[O]) seg(b int) int { return (b >> hopSegBits) % len(t.locks) }
+
+func (t *HopscotchTable[O]) loadCell(p int) uint64 {
+	return atomic.LoadUint64(&t.cells[p&t.mask])
+}
+
+func (t *HopscotchTable[O]) loadHop(b int) uint64 {
+	return atomic.LoadUint64(&t.hop[b&t.mask])
+}
+
+// casHop atomically replaces bucket b's bitmap.
+func (t *HopscotchTable[O]) casHop(b int, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&t.hop[b&t.mask], old, new)
+}
+
+// setHopBit / clearHopBit atomically flip one neighborhood bit.
+func (t *HopscotchTable[O]) setHopBit(b, d int) {
+	for {
+		old := t.loadHop(b)
+		if t.casHop(b, old, old|1<<uint(d)) {
+			return
+		}
+	}
+}
+
+func (t *HopscotchTable[O]) clearHopBit(b, d int) bool {
+	for {
+		old := t.loadHop(b)
+		if old&(1<<uint(d)) == 0 {
+			return false
+		}
+		if t.casHop(b, old, old&^(1<<uint(d))) {
+			return true
+		}
+	}
+}
+
+// findInNeighborhood scans bucket b's bitmap for v's key, returning the
+// cell distance or -1. The unvalidated scan can miss an element that a
+// concurrent displacement is moving; use findValidated where that
+// matters.
+func (t *HopscotchTable[O]) findInNeighborhood(b int, v uint64) int {
+	m := t.loadHop(b)
+	for m != 0 {
+		d := bits.TrailingZeros64(m)
+		m &= m - 1
+		c := t.loadCell(b + d)
+		if c != core.Empty && c != hopBusy && t.ops.Cmp(v, c) == 0 {
+			return d
+		}
+	}
+	return -1
+}
+
+// findValidated is findInNeighborhood bracketed by the segment's
+// displacement seqlock: a miss is only trusted when no displacement was
+// in flight during the scan. After a few raced attempts it falls back to
+// a direct ascending scan of all hopRange cells, which cannot miss: a
+// mover writes the element's new (higher) cell before clearing its old
+// one, so an ascending reader that misses the old cell must see the new.
+func (t *HopscotchTable[O]) findValidated(b int, v uint64) int {
+	s := t.seg(b)
+	for attempt := 0; attempt < 4; attempt++ {
+		t0 := t.ts[s].Load()
+		if t0&1 == 1 {
+			continue // displacement in progress
+		}
+		if d := t.findInNeighborhood(b, v); d >= 0 {
+			return d
+		}
+		if t.ts[s].Load() == t0 {
+			return -1
+		}
+	}
+	for d := 0; d < hopRange; d++ {
+		c := t.loadCell(b + d)
+		if c != core.Empty && c != hopBusy && t.ops.Cmp(v, c) == 0 {
+			return d
+		}
+	}
+	return -1
+}
+
+// Insert implements Table.
+func (t *HopscotchTable[O]) Insert(v uint64) bool {
+	if v == core.Empty {
+		panic("tables: cannot insert the reserved empty element")
+	}
+	b := t.home(v)
+	lk := &t.locks[t.seg(b)]
+	lk.Lock()
+	// Duplicate check. Concurrent inserts into nearby buckets can
+	// displace this bucket's elements without holding our segment lock,
+	// so the scan is validated with the segment's displacement seqlock —
+	// in both variants: the paper's PC optimization removes the timestamp
+	// from the *find* path (finds never overlap displacements in a
+	// phase-concurrent program), but insert-vs-insert displacement races
+	// exist in any variant.
+	if d := t.findValidated(b, v); d >= 0 {
+		// Merge values in place (CAS loop; a displacement could still
+		// move the cell, so re-find on CAS failure).
+		for d >= 0 {
+			c := t.loadCell(b + d)
+			if c != core.Empty && c != hopBusy && t.ops.Cmp(v, c) == 0 {
+				merged := t.ops.Merge(c, v)
+				if merged == c || atomic.CompareAndSwapUint64(&t.cells[(b+d)&t.mask], c, merged) {
+					lk.Unlock()
+					return false
+				}
+				continue
+			}
+			d = t.findValidated(b, v)
+		}
+		// moved out from under us; fall through to insert
+	}
+	// Claim the first empty cell in the probe sequence.
+	slot := -1
+	for j := b; j < b+len(t.cells); j++ {
+		if t.loadCell(j) == core.Empty &&
+			atomic.CompareAndSwapUint64(&t.cells[j&t.mask], core.Empty, hopBusy) {
+			slot = j
+			break
+		}
+	}
+	if slot < 0 {
+		lk.Unlock()
+		panic(fmt.Sprintf("tables: hopscotchHash full (size %d)", len(t.cells)))
+	}
+	// Hop the empty slot backward until it is within range of b.
+	for slot-b >= hopRange {
+		moved := t.hopBackward(&slot, t.seg(b))
+		if !moved {
+			lk.Unlock()
+			panic(fmt.Sprintf("tables: hopscotchHash displacement failed near bucket %d (table too clustered; resize needed)", b))
+		}
+	}
+	atomic.StoreUint64(&t.cells[slot&t.mask], v)
+	t.setHopBit(b, slot-b)
+	lk.Unlock()
+	t.count.Add(1)
+	return true
+}
+
+// hopBackward moves some element from the hopRange-1 cells before *slot
+// into *slot, then adopts that element's old cell as the new empty slot.
+// heldSeg is the segment lock the caller already owns (its home bucket's).
+// Moving an element of bucket y mutates y's bitmap, so the mover takes
+// seg(y)'s lock with TryLock — never blocking while holding heldSeg, so
+// no deadlock is possible; contended candidates are simply skipped.
+// Displacements are bracketed by the segment's seqlock timestamp (odd =
+// move in flight) for the benefit of unlocked readers. Returns false when
+// no element in the window could be moved.
+func (t *HopscotchTable[O]) hopBackward(slot *int, heldSeg int) bool {
+	s := *slot
+	for y := s - hopRange + 1; y < s; y++ {
+		// y may be negative near the array start; masking in the load
+		// helpers implements the wraparound.
+		sy := t.seg(y & t.mask)
+		locked := false
+		if sy != heldSeg {
+			if !t.locks[sy].TryLock() {
+				continue // busy segment; try the next candidate bucket
+			}
+			locked = true
+		}
+		moved := t.tryMoveFrom(y, s, sy)
+		if locked {
+			t.locks[sy].Unlock()
+		}
+		if moved >= 0 {
+			*slot = moved
+			return true
+		}
+	}
+	return false
+}
+
+// tryMoveFrom attempts to move one element of bucket y (whose segment
+// lock the caller holds) into the empty slot s. It returns the element's
+// old position (the new empty slot) or -1.
+func (t *HopscotchTable[O]) tryMoveFrom(y, s, sy int) int {
+	m := t.loadHop(y)
+	for m != 0 {
+		d := bits.TrailingZeros64(m)
+		m &= m - 1
+		from := y + d
+		if from >= s {
+			return -1 // bits at or past the slot cannot help
+		}
+		e := t.loadCell(from)
+		if e == core.Empty || e == hopBusy {
+			continue
+		}
+		ts := &t.ts[sy]
+		ts.Add(1) // odd: displacement in flight
+		atomic.StoreUint64(&t.cells[s&t.mask], e)
+		old := t.loadHop(y)
+		if old&(1<<uint(d)) == 0 {
+			// Deleted while we were locking; undo.
+			atomic.StoreUint64(&t.cells[s&t.mask], hopBusy)
+			ts.Add(1)
+			m = t.loadHop(y)
+			continue
+		}
+		// Holding seg(y), no one else mutates hop[y]; swap both bits.
+		if !t.casHop(y, old, old&^(1<<uint(d))|1<<uint(s-y)) {
+			atomic.StoreUint64(&t.cells[s&t.mask], hopBusy)
+			ts.Add(1)
+			m = t.loadHop(y)
+			continue
+		}
+		atomic.StoreUint64(&t.cells[from&t.mask], hopBusy)
+		ts.Add(1) // even: move complete
+		return from
+	}
+	return -1
+}
+
+// Find implements Table. With timestamps it retries scans that raced a
+// displacement (fully-concurrent operation); the PC variant scans once.
+func (t *HopscotchTable[O]) Find(v uint64) (uint64, bool) {
+	b := t.home(v)
+	if !t.withTimestamps {
+		// hopscotchHash-PC: no displacement can be in flight during a
+		// find phase, so one unvalidated scan suffices.
+		if d := t.findInNeighborhood(b, v); d >= 0 {
+			return t.loadCell(b + d), true
+		}
+		return core.Empty, false
+	}
+	if d := t.findValidated(b, v); d >= 0 {
+		return t.loadCell(b + d), true
+	}
+	return core.Empty, false
+}
+
+// Delete implements Table: clear the bitmap bit, then empty the cell.
+func (t *HopscotchTable[O]) Delete(v uint64) bool {
+	b := t.home(v)
+	lk := &t.locks[t.seg(b)]
+	lk.Lock()
+	defer lk.Unlock()
+	m := t.loadHop(b)
+	for m != 0 {
+		d := bits.TrailingZeros64(m)
+		m &= m - 1
+		c := t.loadCell(b + d)
+		if c == core.Empty || c == hopBusy || t.ops.Cmp(v, c) != 0 {
+			continue
+		}
+		if !t.clearHopBit(b, d) {
+			continue
+		}
+		atomic.StoreUint64(&t.cells[(b+d)&t.mask], core.Empty)
+		t.count.Add(-1)
+		return true
+	}
+	return false
+}
+
+// Elements implements Table.
+func (t *HopscotchTable[O]) Elements() []uint64 {
+	return parallel.Pack(t.cells, func(i int) bool {
+		return t.cells[i] != core.Empty && t.cells[i] != hopBusy
+	})
+}
+
+// Count implements Table.
+func (t *HopscotchTable[O]) Count() int { return int(t.count.Load()) }

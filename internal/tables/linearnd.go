@@ -1,0 +1,167 @@
+package tables
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"phasehash/internal/core"
+	"phasehash/internal/parallel"
+)
+
+// LinearNDTable is linearHash-ND: phase-concurrent history-dependent
+// linear probing after Gao et al. — an insert claims the first empty cell
+// in its probe sequence with a CAS and never displaces anything, so the
+// layout depends on arrival order (non-deterministic). Deletions shift
+// cluster elements back instead of writing tombstones, as in the paper's
+// variant. Inserted elements never move during the insert phase, so
+// inserts and finds could even share a phase (the paper notes this; the
+// benchmarks still separate them).
+type LinearNDTable[O core.Ops] struct {
+	ops   O
+	cells []uint64
+	mask  int
+}
+
+// NewLinearND returns a linearHash-ND table with at least size cells.
+func NewLinearND[O core.Ops](size int) *LinearNDTable[O] {
+	m := ceilPow2(size)
+	return &LinearNDTable[O]{cells: make([]uint64, m), mask: m - 1}
+}
+
+// Size implements Table.
+func (t *LinearNDTable[O]) Size() int { return len(t.cells) }
+
+func (t *LinearNDTable[O]) load(p int) uint64 {
+	return atomic.LoadUint64(&t.cells[p&t.mask])
+}
+
+func (t *LinearNDTable[O]) cas(p int, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&t.cells[p&t.mask], old, new)
+}
+
+func (t *LinearNDTable[O]) home(e uint64) int { return int(t.ops.Hash(e)) & t.mask }
+
+func (t *LinearNDTable[O]) lift(h uint64, p int) int {
+	return p - ((p - int(h)) & t.mask)
+}
+
+// Insert implements Table: probe forward, CAS into the first empty cell.
+func (t *LinearNDTable[O]) Insert(v uint64) bool {
+	if v == core.Empty {
+		panic("tables: cannot insert the reserved empty element")
+	}
+	i := t.home(v)
+	limit := i + len(t.cells)
+	for {
+		if i >= limit {
+			panic(fmt.Sprintf("tables: linearHash-ND full (size %d)", len(t.cells)))
+		}
+		c := t.load(i)
+		if c == core.Empty {
+			if t.cas(i, core.Empty, v) {
+				return true
+			}
+			continue
+		}
+		if t.ops.Cmp(c, v) == 0 {
+			merged := t.ops.Merge(c, v)
+			if merged == c || t.cas(i, c, merged) {
+				return false
+			}
+			continue
+		}
+		i++
+	}
+}
+
+// Find implements Table: scan to the first empty cell (no early exit —
+// the cluster is unordered).
+func (t *LinearNDTable[O]) Find(v uint64) (uint64, bool) {
+	i := t.home(v)
+	for {
+		c := t.load(i)
+		if c == core.Empty {
+			return core.Empty, false
+		}
+		if t.ops.Cmp(v, c) == 0 {
+			return c, true
+		}
+		i++
+	}
+}
+
+// Delete implements Table: locate the key in its cluster, then fill the
+// hole by pulling back the closest following element that hashes at or
+// before it, recursively (concurrent back-shift deletion; same
+// replacement search as linearHash-D but with no priority order).
+func (t *LinearNDTable[O]) Delete(v uint64) bool {
+	i := t.home(v)
+	k := i
+	for {
+		c := t.load(k)
+		if c == core.Empty {
+			return false
+		}
+		if t.ops.Cmp(v, c) == 0 {
+			break
+		}
+		k++
+	}
+	for {
+		c := t.load(k)
+		if c == core.Empty || t.ops.Cmp(v, c) != 0 {
+			// A concurrent delete beat us to this copy; elements only
+			// move backward during deletion, so scan down.
+			k--
+			if k < i {
+				return false
+			}
+			continue
+		}
+		j, w := t.findReplacement(k)
+		if t.cas(k, c, w) {
+			if w == core.Empty {
+				return true
+			}
+			// Two copies of w exist; delete the one further along.
+			v = w
+			k = j
+			i = t.lift(t.ops.Hash(w)&uint64(t.mask), j)
+		} else {
+			k--
+			if k < i {
+				return true // someone removed it concurrently
+			}
+		}
+	}
+}
+
+func (t *LinearNDTable[O]) findReplacement(i int) (int, uint64) {
+	j := i
+	var w uint64
+	for {
+		j++
+		w = t.load(j)
+		if w == core.Empty || t.lift(t.ops.Hash(w)&uint64(t.mask), j) <= i {
+			break
+		}
+	}
+	for k := j - 1; k > i; k-- {
+		w2 := t.load(k)
+		if w2 == core.Empty || t.lift(t.ops.Hash(w2)&uint64(t.mask), k) <= i {
+			w = w2
+			j = k
+		}
+	}
+	return j, w
+}
+
+// Elements implements Table (order depends on insertion history).
+func (t *LinearNDTable[O]) Elements() []uint64 {
+	return parallel.Pack(t.cells, func(i int) bool { return t.cells[i] != core.Empty })
+}
+
+// Count implements Table.
+func (t *LinearNDTable[O]) Count() int {
+	return parallel.Count(len(t.cells), func(i int) bool { return t.cells[i] != core.Empty })
+}

@@ -1,0 +1,142 @@
+// Package tables implements the hash tables the paper benchmarks
+// linearHash-D against, plus the sequential baselines:
+//
+//	linearHash-ND   phase-concurrent history-dependent linear probing
+//	                (after Gao, Groote & Hesselink, with back-shifting
+//	                deletes instead of tombstones)
+//	cuckooHash      phase-concurrent two-choice cuckoo hashing with
+//	                per-slot locks acquired in address order
+//	chainedHash     Lea-style concurrent closed addressing (lock striping)
+//	chainedHash-CR  chainedHash with the paper's contention-reducing
+//	                find-before-lock optimization
+//	hopscotchHash   Herlihy–Shavit–Tzafrir hopscotch hashing with
+//	                per-segment locks and timestamps
+//	hopscotchHash-PC hopscotchHash with the timestamp field removed,
+//	                valid when operation types are phase-separated
+//	serialHash-HI   sequential history-independent linear probing
+//	serialHash-HD   sequential standard linear probing
+//
+// All tables share the element semantics of core.Ops, so benchmarks
+// compare probe policies and synchronization, not hash functions. None of
+// these tables is deterministic (that is the paper's point); the serial
+// HI table is deterministic but sequential.
+package tables
+
+import (
+	"fmt"
+
+	"phasehash/internal/core"
+)
+
+// Table is the operation set shared by every implementation, matching
+// the paper's O = {insert, delete, find, elements}. Phase-concurrent
+// implementations additionally require callers to separate operation
+// types in time; fully-concurrent ones (chained, hopscotch) do not.
+type Table interface {
+	// Insert adds element e; duplicate keys are resolved per the table's
+	// Ops. Reports whether the element count grew.
+	Insert(e uint64) bool
+	// Find returns the element stored under e's key.
+	Find(e uint64) (uint64, bool)
+	// Delete removes the element with e's key, reporting success.
+	Delete(e uint64) bool
+	// Elements returns the stored elements in a packed array. Only
+	// linearHash-D (and the serial HI table) guarantee a deterministic
+	// order.
+	Elements() []uint64
+	// Count returns the number of stored elements.
+	Count() int
+	// Size returns the capacity in cells (0 for chained tables, which
+	// have no fixed capacity).
+	Size() int
+}
+
+// Contains reports whether a table holds e's key.
+func Contains(t Table, e uint64) bool {
+	_, ok := t.Find(e)
+	return ok
+}
+
+// Kind names a table implementation, using the paper's names.
+type Kind string
+
+// The table kinds of the paper's Section 6.
+const (
+	LinearD     Kind = "linearHash-D"
+	LinearND    Kind = "linearHash-ND"
+	Cuckoo      Kind = "cuckooHash"
+	Chained     Kind = "chainedHash"
+	ChainedCR   Kind = "chainedHash-CR"
+	Hopscotch   Kind = "hopscotchHash"
+	HopscotchPC Kind = "hopscotchHash-PC"
+	SerialHI    Kind = "serialHash-HI"
+	SerialHD    Kind = "serialHash-HD"
+)
+
+// Kinds lists all table kinds in the paper's presentation order.
+var Kinds = []Kind{
+	SerialHI, SerialHD,
+	LinearD, LinearND, Cuckoo,
+	Chained, ChainedCR,
+	Hopscotch, HopscotchPC,
+}
+
+// ParallelKinds lists the concurrent/phase-concurrent kinds.
+var ParallelKinds = []Kind{
+	LinearD, LinearND, Cuckoo, Chained, ChainedCR, Hopscotch, HopscotchPC,
+}
+
+// New constructs a table of the given kind with the given capacity and
+// element semantics. Chained tables use size as the bucket count.
+func New[O core.Ops](kind Kind, size int) (Table, error) {
+	switch kind {
+	case LinearD:
+		return core.NewWordTable[O](size), nil
+	case LinearND:
+		return NewLinearND[O](size), nil
+	case Cuckoo:
+		return NewCuckoo[O](size), nil
+	case Chained:
+		return NewChained[O](size, false), nil
+	case ChainedCR:
+		return NewChained[O](size, true), nil
+	case Hopscotch:
+		return NewHopscotch[O](size, true), nil
+	case HopscotchPC:
+		return NewHopscotch[O](size, false), nil
+	case SerialHI:
+		return NewSerialHITable[O](size), nil
+	case SerialHD:
+		return NewSerialHDTable[O](size), nil
+	default:
+		return nil, fmt.Errorf("tables: unknown kind %q", kind)
+	}
+}
+
+// MustNew is New, panicking on unknown kinds (benchmark drivers).
+func MustNew[O core.Ops](kind Kind, size int) Table {
+	t, err := New[O](kind, size)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// SizeFor converts a desired element capacity into a table size for the
+// kind: the next power of two >= capacity, doubled for cuckoo hashing
+// (two-choice cuckoo without stashes degrades sharply past ~50% load;
+// the paper likewise gives cuckoo twice the cells in its applications).
+func SizeFor(kind Kind, capacity int) int {
+	m := ceilPow2(capacity)
+	if kind == Cuckoo {
+		m *= 2
+	}
+	return m
+}
+
+// IsSerial reports whether the kind is one of the sequential baselines.
+func (k Kind) IsSerial() bool { return k == SerialHI || k == SerialHD }
+
+// IsDeterministic reports whether the table's quiescent layout is
+// independent of operation order.
+func (k Kind) IsDeterministic() bool { return k == LinearD || k == SerialHI }

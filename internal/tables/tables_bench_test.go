@@ -1,0 +1,128 @@
+package tables
+
+import (
+	"fmt"
+	"testing"
+
+	"phasehash/internal/core"
+	"phasehash/internal/hashx"
+	"phasehash/internal/parallel"
+)
+
+// Per-table micro-benchmarks (one batch of n operations per iteration);
+// the paper-layout experiments live in the repository root and cmd/.
+
+const microN = 1 << 15
+
+func microKeys() []uint64 {
+	keys := make([]uint64, microN)
+	for i := range keys {
+		keys[i] = hashx.At(1, i)%microN + 1
+	}
+	return keys
+}
+
+func BenchmarkInsertByKind(b *testing.B) {
+	keys := microKeys()
+	for _, kind := range Kinds {
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tab := MustNew[core.SetOps](kind, 4*microN)
+				if kind.IsSerial() {
+					for _, k := range keys {
+						tab.Insert(k)
+					}
+				} else {
+					parallel.ForBlocked(len(keys), 0, func(lo, hi int) {
+						for j := lo; j < hi; j++ {
+							tab.Insert(keys[j])
+						}
+					})
+				}
+			}
+			b.ReportMetric(float64(microN), "elems/op")
+		})
+	}
+}
+
+func BenchmarkFindByKind(b *testing.B) {
+	keys := microKeys()
+	for _, kind := range Kinds {
+		tab := MustNew[core.SetOps](kind, 4*microN)
+		for _, k := range keys {
+			tab.Insert(k)
+		}
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tab.Find(keys[i&(microN-1)])
+			}
+		})
+	}
+}
+
+func BenchmarkDeleteByKind(b *testing.B) {
+	keys := microKeys()
+	for _, kind := range Kinds {
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tab := MustNew[core.SetOps](kind, 4*microN)
+				for _, k := range keys {
+					tab.Insert(k)
+				}
+				b.StartTimer()
+				if kind.IsSerial() {
+					for _, k := range keys {
+						tab.Delete(k)
+					}
+				} else {
+					parallel.ForBlocked(len(keys), 0, func(lo, hi int) {
+						for j := lo; j < hi; j++ {
+							tab.Delete(keys[j])
+						}
+					})
+				}
+			}
+			b.ReportMetric(float64(microN), "elems/op")
+		})
+	}
+}
+
+func BenchmarkElementsByKind(b *testing.B) {
+	keys := microKeys()
+	for _, kind := range Kinds {
+		tab := MustNew[core.SetOps](kind, 4*microN)
+		for _, k := range keys {
+			tab.Insert(k)
+		}
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := tab.Elements(); len(got) == 0 {
+					b.Fatal("empty elements")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkContendedInsert measures duplicate-heavy insertion (37
+// distinct keys), the regime that separates chainedHash from
+// chainedHash-CR and hopscotch from the linear tables in the paper.
+func BenchmarkContendedInsert(b *testing.B) {
+	keys := make([]uint64, microN)
+	for i := range keys {
+		keys[i] = hashx.At(3, i)%37 + 1
+	}
+	for _, kind := range ParallelKinds {
+		b.Run(fmt.Sprintf("%s", kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tab := MustNew[core.SetOps](kind, 1<<12)
+				parallel.ForBlocked(len(keys), 0, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						tab.Insert(keys[j])
+					}
+				})
+			}
+		})
+	}
+}

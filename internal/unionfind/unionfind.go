@@ -1,0 +1,67 @@
+// Package unionfind provides a union-find (disjoint set) structure
+// usable from deterministic-reservations algorithms: Find is safe to call
+// concurrently (lock-free, with path halving), while Link is restricted
+// to commit phases where each root is linked by at most one winner — the
+// discipline the spanning-forest application establishes with WriteMin
+// reservations.
+package unionfind
+
+import "sync/atomic"
+
+// UF is a union-find over vertices [0, n).
+type UF struct {
+	parent []int32
+}
+
+// New returns a union-find with every vertex its own root.
+func New(n int) *UF {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return &UF{parent: p}
+}
+
+// Find returns the root of v, halving the path as it goes. Concurrent
+// Finds (and Finds racing a commit-phase Link) are safe: path halving
+// only ever rewrites a parent pointer to its current grandparent, which
+// preserves the forest.
+func (u *UF) Find(v int) int {
+	for {
+		p := atomic.LoadInt32(&u.parent[v])
+		if int(p) == v {
+			return v
+		}
+		gp := atomic.LoadInt32(&u.parent[p])
+		if p != gp {
+			// Halve: point v at its grandparent. A lost race is harmless.
+			atomic.CompareAndSwapInt32(&u.parent[v], p, gp)
+		}
+		v = int(gp)
+	}
+}
+
+// SameSet reports whether a and b are currently in the same component.
+// Racy under concurrent Links; callers sequence it per the reservation
+// protocol.
+func (u *UF) SameSet(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// Link makes root a child of parent. a must be a root owned exclusively
+// by the caller (e.g. reserved via WriteMin); parent may be any vertex.
+func (u *UF) Link(a, parent int) {
+	atomic.StoreInt32(&u.parent[a], int32(parent))
+}
+
+// NumRoots counts the current components (quiescent use).
+func (u *UF) NumRoots() int {
+	n := 0
+	for i := range u.parent {
+		if int(u.parent[i]) == i {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the number of vertices.
+func (u *UF) Size() int { return len(u.parent) }

@@ -1,0 +1,61 @@
+package unionfind
+
+import (
+	"testing"
+
+	"phasehash/internal/parallel"
+)
+
+func TestBasic(t *testing.T) {
+	u := New(10)
+	if u.NumRoots() != 10 {
+		t.Fatalf("NumRoots = %d", u.NumRoots())
+	}
+	u.Link(u.Find(1), u.Find(2))
+	u.Link(u.Find(3), u.Find(4))
+	if !u.SameSet(1, 2) || !u.SameSet(3, 4) {
+		t.Error("linked pairs not in same set")
+	}
+	if u.SameSet(1, 3) {
+		t.Error("unlinked pairs in same set")
+	}
+	u.Link(u.Find(2), u.Find(3))
+	if !u.SameSet(1, 4) {
+		t.Error("transitive link failed")
+	}
+	if u.NumRoots() != 10-3 {
+		t.Errorf("NumRoots = %d, want 7", u.NumRoots())
+	}
+}
+
+func TestChainCompression(t *testing.T) {
+	n := 10000
+	u := New(n)
+	for i := 0; i < n-1; i++ {
+		u.Link(i, i+1)
+	}
+	if got := u.Find(0); got != n-1 {
+		t.Fatalf("Find(0) = %d, want %d", got, n-1)
+	}
+	// After halving, repeated finds are fast and stable.
+	for i := 0; i < n; i++ {
+		if u.Find(i) != n-1 {
+			t.Fatalf("Find(%d) != root", i)
+		}
+	}
+}
+
+func TestConcurrentFinds(t *testing.T) {
+	n := 50000
+	u := New(n)
+	for i := 0; i < n-1; i += 2 {
+		u.Link(i, i+1)
+	}
+	parallel.ForGrain(n, 1, func(i int) {
+		root := u.Find(i)
+		want := i | 1
+		if root != want {
+			t.Errorf("Find(%d) = %d, want %d", i, root, want)
+		}
+	})
+}

@@ -1,0 +1,201 @@
+// Package phasehash is a deterministic phase-concurrent hash table
+// library — a Go implementation of Shun & Blelloch, "Phase-Concurrent
+// Hash Tables for Determinism" (SPAA 2014).
+//
+// # Phase-concurrency
+//
+// Operations are split into three phases that may each run concurrently
+// from any number of goroutines:
+//
+//   - insert phase: Insert
+//   - delete phase: Delete
+//   - read phase:   Find / Contains / Elements / Count
+//
+// Operations from *different* phases must be separated by a
+// happens-before edge (any barrier: sync.WaitGroup, channel, ...).
+// Within this discipline the table is deterministic: at every quiescent
+// point its contents — including the order Elements returns — depend
+// only on the set of operations performed, never on thread scheduling.
+// That makes it a building block for internally deterministic parallel
+// programs: see the examples directory for duplicate removal, BFS with
+// deterministic frontiers, word counting and Delaunay refinement.
+//
+// The containers here are fixed-capacity (the paper's benchmarked
+// configuration): give New* the maximum number of distinct keys you will
+// store. Inserting beyond capacity panics. Key 0 is reserved.
+//
+// # Checked mode
+//
+// Wrap any container with Checked to detect phase-discipline violations
+// at runtime during development; the check costs two atomic operations
+// per table operation and is off the benchmarked paths.
+package phasehash
+
+import (
+	"phasehash/internal/core"
+	"phasehash/internal/parallel"
+)
+
+// Set is a deterministic phase-concurrent set of uint64 keys (key 0 is
+// reserved and must not be inserted).
+type Set struct {
+	t *core.WordTable[core.SetOps]
+}
+
+// NewSet returns a set with capacity for at least capacity keys (the
+// backing array is the next power of two, as in the paper; keep load
+// factor below ~0.9 for linear-probing performance).
+func NewSet(capacity int) *Set {
+	return &Set{t: core.NewWordTable[core.SetOps](capacity)}
+}
+
+// Insert adds k (insert phase). It reports whether the set grew.
+func (s *Set) Insert(k uint64) bool { return s.t.Insert(k) }
+
+// Contains reports whether k is present (read phase).
+func (s *Set) Contains(k uint64) bool { return s.t.Contains(k) }
+
+// Delete removes k (delete phase), reporting whether it was removed.
+func (s *Set) Delete(k uint64) bool { return s.t.Delete(k) }
+
+// Elements returns the keys in a deterministic order (read phase): for a
+// given key set the result is identical on every run, schedule and
+// worker count.
+func (s *Set) Elements() []uint64 { return s.t.Elements() }
+
+// Count returns the number of keys (read phase).
+func (s *Set) Count() int { return s.t.Count() }
+
+// Capacity returns the cell count of the backing array.
+func (s *Set) Capacity() int { return s.t.Size() }
+
+// Clear empties the set (quiescent use only).
+func (s *Set) Clear() { s.t.Clear() }
+
+// Combine selects how a Map32 resolves duplicate keys. All choices are
+// commutative and associative, so the stored value — like everything
+// else — is deterministic.
+type Combine int
+
+// Duplicate-key resolution policies.
+const (
+	KeepMin Combine = iota // keep the minimum value (WriteMin semantics)
+	KeepMax                // keep the maximum value
+	Sum                    // add values modulo 2^32
+)
+
+// Map32 is a deterministic phase-concurrent map from uint32 keys to
+// uint32 values, stored as packed single-word pairs so that one CAS
+// covers the whole entry. Key 0 is reserved.
+type Map32 struct {
+	min *core.WordTable[core.PairMinOps]
+	max *core.WordTable[core.PairMaxOps]
+	sum *core.WordTable[core.PairSumOps]
+}
+
+// NewMap32 returns a map with the given capacity and duplicate policy.
+func NewMap32(capacity int, policy Combine) *Map32 {
+	m := &Map32{}
+	switch policy {
+	case KeepMin:
+		m.min = core.NewWordTable[core.PairMinOps](capacity)
+	case KeepMax:
+		m.max = core.NewWordTable[core.PairMaxOps](capacity)
+	case Sum:
+		m.sum = core.NewWordTable[core.PairSumOps](capacity)
+	default:
+		panic("phasehash: unknown Combine policy")
+	}
+	return m
+}
+
+// Insert adds (k, v), resolving duplicates per the policy (insert
+// phase). It reports whether a new key was added.
+func (m *Map32) Insert(k, v uint32) bool {
+	if k == 0 {
+		panic("phasehash: key 0 is reserved")
+	}
+	e := core.Pair(k, v)
+	switch {
+	case m.min != nil:
+		return m.min.Insert(e)
+	case m.max != nil:
+		return m.max.Insert(e)
+	default:
+		return m.sum.Insert(e)
+	}
+}
+
+// Find returns the value stored under k (read phase).
+func (m *Map32) Find(k uint32) (uint32, bool) {
+	e, ok := m.find(core.Pair(k, 0))
+	return core.PairValue(e), ok
+}
+
+func (m *Map32) find(e uint64) (uint64, bool) {
+	switch {
+	case m.min != nil:
+		return m.min.Find(e)
+	case m.max != nil:
+		return m.max.Find(e)
+	default:
+		return m.sum.Find(e)
+	}
+}
+
+// Delete removes key k (delete phase).
+func (m *Map32) Delete(k uint32) bool {
+	e := core.Pair(k, 0)
+	switch {
+	case m.min != nil:
+		return m.min.Delete(e)
+	case m.max != nil:
+		return m.max.Delete(e)
+	default:
+		return m.sum.Delete(e)
+	}
+}
+
+// Entry is one key-value pair of a Map32.
+type Entry struct {
+	Key   uint32
+	Value uint32
+}
+
+// Entries returns the map contents in a deterministic order (read
+// phase).
+func (m *Map32) Entries() []Entry {
+	var raw []uint64
+	switch {
+	case m.min != nil:
+		raw = m.min.Elements()
+	case m.max != nil:
+		raw = m.max.Elements()
+	default:
+		raw = m.sum.Elements()
+	}
+	out := make([]Entry, len(raw))
+	parallel.For(len(raw), func(i int) {
+		out[i] = Entry{Key: core.PairKey(raw[i]), Value: core.PairValue(raw[i])}
+	})
+	return out
+}
+
+// Count returns the number of keys (read phase).
+func (m *Map32) Count() int {
+	switch {
+	case m.min != nil:
+		return m.min.Count()
+	case m.max != nil:
+		return m.max.Count()
+	default:
+		return m.sum.Count()
+	}
+}
+
+// SetParallelism bounds the worker count used by the library's internal
+// parallel operations (Elements packing, Clear). n < 1 resets to
+// GOMAXPROCS. It returns the previous setting. Intended for benchmarks
+// and tests; the containers themselves scale to any number of caller
+// goroutines regardless.
+func SetParallelism(n int) int { return parallel.SetNumWorkers(n) }

@@ -1,0 +1,201 @@
+package phasehash
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"phasehash/internal/core"
+	"phasehash/internal/parallel"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(64)
+	if !s.Insert(7) || s.Insert(7) {
+		t.Fatal("Insert duplicate accounting wrong")
+	}
+	if !s.Contains(7) || s.Contains(8) {
+		t.Fatal("Contains wrong")
+	}
+	if s.Count() != 1 {
+		t.Fatal("Count wrong")
+	}
+	if !s.Delete(7) || s.Delete(7) {
+		t.Fatal("Delete wrong")
+	}
+	s.Insert(1)
+	s.Insert(2)
+	s.Clear()
+	if s.Count() != 0 {
+		t.Fatal("Clear did not empty")
+	}
+	if s.Capacity() != 64 {
+		t.Fatalf("Capacity = %d", s.Capacity())
+	}
+}
+
+func TestSetDeterministicElementsAcrossGoroutines(t *testing.T) {
+	build := func(workers int) []uint64 {
+		s := NewSet(1 << 14)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for k := uint64(w); k < 10000; k += uint64(workers) {
+					s.Insert(k*2617 + 1)
+				}
+			}(w)
+		}
+		wg.Wait() // phase barrier
+		return s.Elements()
+	}
+	ref := build(1)
+	for _, w := range []int{2, 4, 8} {
+		got := build(w)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: length %d vs %d", w, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: Elements differ at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestMap32Policies(t *testing.T) {
+	for _, tc := range []struct {
+		policy Combine
+		want   uint32
+	}{{KeepMin, 2}, {KeepMax, 9}, {Sum, 18}} {
+		m := NewMap32(64, tc.policy)
+		var wg sync.WaitGroup
+		for _, v := range []uint32{5, 2, 9, 2} {
+			wg.Add(1)
+			go func(v uint32) {
+				defer wg.Done()
+				m.Insert(77, v)
+			}(v)
+		}
+		wg.Wait()
+		got, ok := m.Find(77)
+		if !ok || got != tc.want {
+			t.Fatalf("policy %v: Find = (%d,%v), want %d", tc.policy, got, ok, tc.want)
+		}
+		if m.Count() != 1 {
+			t.Fatalf("policy %v: Count = %d", tc.policy, m.Count())
+		}
+		es := m.Entries()
+		if len(es) != 1 || es[0].Key != 77 || es[0].Value != tc.want {
+			t.Fatalf("policy %v: Entries = %v", tc.policy, es)
+		}
+		if !m.Delete(77) || m.Count() != 0 {
+			t.Fatalf("policy %v: Delete failed", tc.policy)
+		}
+	}
+}
+
+func TestMap32ZeroKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("key 0 did not panic")
+		}
+	}()
+	NewMap32(8, Sum).Insert(0, 1)
+}
+
+func TestStringMapWordCount(t *testing.T) {
+	text := "the cat and the dog and the bird"
+	words := strings.Fields(text)
+	m := NewStringMap(64, Sum)
+	parallel.ForGrain(len(words), 1, func(i int) { m.Insert(words[i], 1) })
+	if v, _ := m.Find("the"); v != 3 {
+		t.Fatalf("count(the) = %d", v)
+	}
+	if v, _ := m.Find("and"); v != 2 {
+		t.Fatalf("count(and) = %d", v)
+	}
+	if _, ok := m.Find("fish"); ok {
+		t.Fatal("found absent word")
+	}
+	if m.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", m.Count())
+	}
+	// Deterministic entries order.
+	a := m.Entries()
+	m2 := NewStringMap(64, Sum)
+	parallel.ForGrain(len(words), 1, func(i int) { m2.Insert(words[i], 1) })
+	b := m2.Entries()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Entries differ at %d", i)
+		}
+	}
+}
+
+func TestStringMapKeepMinAndDelete(t *testing.T) {
+	m := NewStringMap(32, KeepMin)
+	m.Insert("k", 9)
+	m.Insert("k", 3)
+	m.Insert("k", 7)
+	if v, _ := m.Find("k"); v != 3 {
+		t.Fatalf("min = %d", v)
+	}
+	if !m.Delete("k") || m.Delete("k") {
+		t.Fatal("Delete semantics wrong")
+	}
+}
+
+func TestCheckedSetAllowsLegalPhases(t *testing.T) {
+	c := Checked(NewSet(256))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := uint64(w*50 + 1); k < uint64(w*50+51); k++ {
+				c.Insert(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Count() != 200 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := uint64(w*50 + 1); k < uint64(w*50+51); k++ {
+				if !c.Contains(k) {
+					t.Errorf("missing %d", k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestCheckedSetDetectsViolation(t *testing.T) {
+	c := Checked(NewSet(256))
+	// White-box: hold the insert phase open on the guard, then attempt a
+	// read — the overlap the checker exists to catch.
+	if err := c.guard.Enter(core.PhaseInsert); err != nil {
+		t.Fatal(err)
+	}
+	defer c.guard.Exit(core.PhaseInsert)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read during insert phase did not panic")
+		}
+	}()
+	c.Contains(1)
+}
+
+func TestSetParallelism(t *testing.T) {
+	old := SetParallelism(1)
+	if got := SetParallelism(old); got != 1 {
+		t.Fatalf("SetParallelism returned %d, want 1", got)
+	}
+}

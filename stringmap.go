@@ -1,0 +1,130 @@
+package phasehash
+
+import (
+	"phasehash/internal/core"
+	"phasehash/internal/hashx"
+)
+
+// strEntry is the record type stored behind a pointer in StringMap —
+// the paper's indirection path for elements wider than a CAS.
+type strEntry struct {
+	key string
+	val uint64
+}
+
+type strOpsMin struct{}
+
+func (strOpsMin) Hash(e *strEntry) uint64 { return hashx.HashString(e.key) }
+func (strOpsMin) Cmp(a, b *strEntry) int {
+	switch {
+	case a.key < b.key:
+		return -1
+	case a.key > b.key:
+		return 1
+	default:
+		return 0
+	}
+}
+func (strOpsMin) Merge(cur, new *strEntry) *strEntry {
+	if new.val < cur.val {
+		return new
+	}
+	return cur
+}
+
+type strOpsSum struct{}
+
+func (strOpsSum) Hash(e *strEntry) uint64 { return hashx.HashString(e.key) }
+func (strOpsSum) Cmp(a, b *strEntry) int  { return strOpsMin{}.Cmp(a, b) }
+func (strOpsSum) Merge(cur, new *strEntry) *strEntry {
+	return &strEntry{key: cur.key, val: cur.val + new.val}
+}
+
+// StringMap is a deterministic phase-concurrent map from string keys to
+// uint64 values. Entries are stored behind pointers and swapped with
+// pointer CAS — the representation the paper uses for its string-keyed
+// (trigramSeq) experiments. The phase discipline is the same as Set's.
+type StringMap struct {
+	min *core.PtrTable[strEntry, strOpsMin]
+	sum *core.PtrTable[strEntry, strOpsSum]
+}
+
+// NewStringMap returns a string map with the given capacity and
+// duplicate policy (KeepMin, KeepMax is not offered — negate values or
+// use Sum).
+func NewStringMap(capacity int, policy Combine) *StringMap {
+	m := &StringMap{}
+	switch policy {
+	case KeepMin:
+		m.min = core.NewPtrTable[strEntry, strOpsMin](capacity)
+	case Sum:
+		m.sum = core.NewPtrTable[strEntry, strOpsSum](capacity)
+	default:
+		panic("phasehash: StringMap supports KeepMin and Sum policies")
+	}
+	return m
+}
+
+// Insert adds (k, v), resolving duplicate keys per the policy (insert
+// phase). It reports whether a new key was added.
+func (m *StringMap) Insert(k string, v uint64) bool {
+	e := &strEntry{key: k, val: v}
+	if m.min != nil {
+		return m.min.Insert(e)
+	}
+	return m.sum.Insert(e)
+}
+
+// Find returns the value stored under k (read phase).
+func (m *StringMap) Find(k string) (uint64, bool) {
+	probe := &strEntry{key: k}
+	var e *strEntry
+	var ok bool
+	if m.min != nil {
+		e, ok = m.min.Find(probe)
+	} else {
+		e, ok = m.sum.Find(probe)
+	}
+	if !ok {
+		return 0, false
+	}
+	return e.val, true
+}
+
+// Delete removes key k (delete phase).
+func (m *StringMap) Delete(k string) bool {
+	probe := &strEntry{key: k}
+	if m.min != nil {
+		return m.min.Delete(probe)
+	}
+	return m.sum.Delete(probe)
+}
+
+// StringEntry is one key-value pair of a StringMap.
+type StringEntry struct {
+	Key   string
+	Value uint64
+}
+
+// Entries returns the contents in a deterministic order (read phase).
+func (m *StringMap) Entries() []StringEntry {
+	var raw []*strEntry
+	if m.min != nil {
+		raw = m.min.Elements()
+	} else {
+		raw = m.sum.Elements()
+	}
+	out := make([]StringEntry, len(raw))
+	for i, e := range raw {
+		out[i] = StringEntry{Key: e.key, Value: e.val}
+	}
+	return out
+}
+
+// Count returns the number of keys (read phase).
+func (m *StringMap) Count() int {
+	if m.min != nil {
+		return m.min.Count()
+	}
+	return m.sum.Count()
+}
