@@ -1,0 +1,38 @@
+# Convenience targets; CI (.github/workflows/ci.yml) runs the same
+# gates.
+
+GOBIN := $(shell go env GOPATH)/bin
+
+.PHONY: all build test race lint phasevet fmt fuzz install-phasevet
+
+all: build test lint
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/core/... ./internal/apps/... ./internal/tables/... .
+
+# lint = everything CI gates on besides the test suite.
+lint: fmt phasevet
+	go vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Run the phase-discipline analyzer through go vet so _test.go files
+# are covered too.
+phasevet:
+	go build -o /tmp/phasevet-vettool ./cmd/phasevet
+	go vet -vettool=/tmp/phasevet-vettool ./...
+
+install-phasevet:
+	go build -o $(GOBIN)/phasevet ./cmd/phasevet
+
+fuzz:
+	go test -fuzz=FuzzWordTableOps -fuzztime=30s ./internal/core
+	go test -fuzz=FuzzGrowTable -fuzztime=30s ./internal/core

@@ -1,0 +1,106 @@
+// Command phasevet reports phase-discipline violations in code using
+// the phasehash tables (see internal/analysis/phasevet).
+//
+// It runs in two modes:
+//
+//   - Standalone (singlechecker-style): given go-tool package patterns
+//     it loads the packages from source and reports diagnostics.
+//
+//     go run ./cmd/phasevet ./...
+//
+//   - Vet tool (unitchecker protocol): when invoked by the go command
+//     with a *.cfg file it type-checks the unit from export data, so
+//     it plugs into the standard vet driver — including _test.go
+//     files, which the standalone mode does not load:
+//
+//     go build -o /tmp/phasevet ./cmd/phasevet
+//     go vet -vettool=/tmp/phasevet ./...
+//
+// Exit status is 2 when diagnostics were reported, matching go vet.
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+
+	"phasehash/internal/analysis/load"
+	"phasehash/internal/analysis/phasevet"
+	"phasehash/internal/analysis/unitvet"
+)
+
+func main() {
+	args := os.Args[1:]
+	// go vet probes its tool with -V=full and -flags before sending
+	// unit configs; unitvet answers those and *.cfg units.
+	if unitvet.Handles(args) {
+		unitvet.Main(phasevet.PhaseVet, args)
+		return
+	}
+	if len(args) == 0 || args[0] == "-h" || args[0] == "--help" || args[0] == "help" {
+		fmt.Fprintf(os.Stderr, "usage: phasevet <package patterns>\n\n%s\n", phasevet.PhaseVet.Doc)
+		os.Exit(2)
+	}
+	os.Exit(standalone(args))
+}
+
+func standalone(patterns []string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := load.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	var diags []struct {
+		pos token.Position
+		msg string
+	}
+	for _, pkg := range pkgs {
+		pass := &phasevet.Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report: func(d phasevet.Diagnostic) {
+				diags = append(diags, struct {
+					pos token.Position
+					msg string
+				}{pkg.Fset.Position(d.Pos), d.Message})
+			},
+		}
+		if _, err := phasevet.PhaseVet.Run(pass); err != nil {
+			fatal(err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].pos, diags[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	for _, d := range diags {
+		pos := d.pos.String()
+		if rel, ok := strings.CutPrefix(pos, cwd+string(os.PathSeparator)); ok {
+			pos = rel
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s\n", pos, d.msg)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "phasevet: %v\n", err)
+	os.Exit(1)
+}

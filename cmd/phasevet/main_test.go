@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolEndToEnd builds the phasevet binary and drives it through
+// the real `go vet -vettool` protocol against a scratch module that
+// depends on phasehash: the go command probes -flags and -V=full, then
+// feeds unit .cfg files, so this covers the whole unitvet path.
+func TestVettoolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and invokes the go tool")
+	}
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "phasevet")
+	if out, err := exec.Command("go", "build", "-o", tool, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building phasevet: %v\n%s", err, out)
+	}
+
+	fixture := filepath.Join(tmp, "fixture")
+	if err := os.MkdirAll(fixture, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	gomod := `module fixture
+
+go 1.22
+
+require phasehash v0.0.0-00010101000000-000000000000
+
+replace phasehash => ` + repoRoot + "\n"
+	if err := os.WriteFile(filepath.Join(fixture, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := `package main
+
+import "phasehash"
+
+func main() {
+	s := phasehash.NewSet(64)
+	go s.Insert(1)
+	_ = s.Elements()
+}
+`
+	if err := os.WriteFile(filepath.Join(fixture, "main.go"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	vet := func() (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+		cmd.Dir = fixture
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+	out, err := vet()
+	if err == nil {
+		t.Fatalf("go vet succeeded on a phase violation; output:\n%s", out)
+	}
+	if !strings.Contains(out, "phase violation") || !strings.Contains(out, "Elements result") {
+		t.Fatalf("go vet output does not report the violation:\n%s", out)
+	}
+
+	good := `package main
+
+import (
+	"sync"
+
+	"phasehash"
+)
+
+func main() {
+	s := phasehash.NewSet(64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Insert(1)
+	}()
+	wg.Wait()
+	_ = s.Elements()
+}
+`
+	if err := os.WriteFile(filepath.Join(fixture, "main.go"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := vet(); err != nil {
+		t.Fatalf("go vet failed on disciplined code: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneCleanOnRepo runs the standalone (source-loading) mode
+// over this repository, which must stay phase-clean.
+func TestStandaloneCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "phasevet")
+	if out, err := exec.Command("go", "build", "-o", tool, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building phasevet: %v\n%s", err, out)
+	}
+	cmd := exec.Command(tool, "./...")
+	cmd.Dir = repoRoot
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("phasevet ./... reported findings or failed: %v\n%s", err, out)
+	}
+}

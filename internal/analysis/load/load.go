@@ -1,0 +1,214 @@
+// Package load type-checks packages of this module from source using
+// only the standard library, for driving analyzers without a
+// golang.org/x/tools dependency.
+//
+// Module-local import paths are resolved against the module root;
+// standard-library imports are resolved by the go/importer source
+// importer. `go list -json` supplies the package list for command-line
+// patterns, so build constraints and file selection match the go tool.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package with its syntax trees.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader type-checks module packages from source, memoizing results.
+type Loader struct {
+	ModulePath string
+	ModuleDir  string
+	Fset       *token.FileSet
+
+	std  types.Importer
+	pkgs map[string]*Package
+	fail map[string]error
+}
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modpath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModulePath: modpath,
+		ModuleDir:  root,
+		Fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		fail:       map[string]error{},
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modpath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", errors.New("load: no go.mod found")
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer: module-local paths load from
+// source under the module root; everything else is standard library.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.LoadDir(path, filepath.Join(l.ModuleDir, filepath.FromSlash(rel)), nil)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks the package in dir under the given
+// import path. files, when non-nil, names the exact .go files to use
+// (relative to dir); otherwise every non-test .go file in dir is used.
+func (l *Loader) LoadDir(path, dir string, files []string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if err, ok := l.fail[path]; ok {
+		return nil, err
+	}
+	pkg, err := l.loadDir(path, dir, files)
+	if err != nil {
+		l.fail[path] = err
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) loadDir(path, dir string, files []string) (*Package, error) {
+	if files == nil {
+		// Honor build constraints the same way the go tool does.
+		bp, err := build.ImportDir(dir, 0)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		files = bp.GoFiles
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load %s: no Go files in %s", path, dir)
+	}
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: syntax, Types: tpkg, Info: info}, nil
+}
+
+// ListedPackage is the subset of `go list -json` output we consume.
+type ListedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Incomplete bool
+}
+
+// List resolves command-line package patterns with `go list -json`,
+// run in dir.
+func List(dir string, patterns ...string) ([]ListedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []ListedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadPatterns loads every package matching the go-tool patterns.
+func (l *Loader) LoadPatterns(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := List(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.LoadDir(lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,55 @@
+// Package phasevet statically detects phase-discipline violations in
+// code that uses the phasehash tables.
+//
+// The phase-concurrent contract (Shun & Blelloch, SPAA 2014) is that
+// operations from different phases — {insert}, {delete}, {find,
+// elements} — on the same table must never overlap in time. The
+// runtime Checked facade catches overlap probabilistically when the
+// schedule happens to interleave; this analyzer finds the bug class at
+// compile time by tracking, within each function body, which phases
+// may still be in flight on each table when the next operation starts.
+//
+// The analyzer is modelled on golang.org/x/tools/go/analysis but is
+// self-contained (this module has no dependencies): the Analyzer,
+// Pass and Diagnostic types below are a minimal structural subset of
+// that API, so the checker could be ported to a real go/analysis
+// driver by swapping the types.
+package phasevet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (interface{}, error)
+}
+
+// Pass carries one package's syntax and type information to an
+// Analyzer's Run function, mirroring go/analysis.Pass.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report is called for each diagnostic found.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic in the given category.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Category: category, Message: fmt.Sprintf(format, args...)})
+}

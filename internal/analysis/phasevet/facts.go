@@ -1,0 +1,175 @@
+package phasevet
+
+import (
+	"go/types"
+	"strings"
+)
+
+// Phase is the analyzer's classification of a table method. It mirrors
+// core.Phase but is independent of it so the analyzer does not import
+// the packages it checks.
+type Phase uint8
+
+// Method phase classes.
+const (
+	PhaseNone   Phase = iota // unclassified: not subject to the discipline
+	PhaseInsert              // insert phase
+	PhaseDelete              // delete phase
+	PhaseRead                // read phase (find / elements / count)
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseInsert:
+		return "insert"
+	case PhaseDelete:
+		return "delete"
+	case PhaseRead:
+		return "read"
+	default:
+		return "none"
+	}
+}
+
+// methodFact classifies one method of one table type.
+type methodFact struct {
+	phase Phase
+	// capture marks methods whose *result* is a snapshot of table
+	// state (Elements, Count, Entries): using one while a write phase
+	// is in flight is the read-during-write diagnostic.
+	capture bool
+}
+
+// factKey is "pkgpath.TypeName.Method". Test-variant package paths
+// ("phasehash [phasehash.test]") are normalized before lookup.
+type factKey struct {
+	pkg, typ, method string
+}
+
+// phaseFacts classifies every phase-disciplined method of the public
+// containers and the internal/core tables. Types deliberately absent:
+// CheckedSet and the other Checked* wrappers (runtime-guarded), and
+// AutoSet (room-synchronized) — operations on those are always safe to
+// issue from any phase.
+var phaseFacts = map[factKey]methodFact{}
+
+// checkedWrapper names the runtime-checked twin the diagnostic should
+// suggest for each classified type.
+var checkedWrapper = map[string]string{
+	"phasehash.Set":       "phasehash.Checked",
+	"phasehash.Map32":     "phasehash.NewCheckedMap32",
+	"phasehash.StringMap": "phasehash.NewCheckedStringMap",
+	"phasehash.GrowSet":   "phasehash.NewCheckedGrowSet",
+}
+
+func addFacts(pkg, typ string, methods map[string]methodFact) {
+	for m, f := range methods {
+		phaseFacts[factKey{pkg, typ, m}] = f
+	}
+}
+
+func init() {
+	const (
+		ph   = "phasehash"
+		core = "phasehash/internal/core"
+	)
+	// Public containers.
+	addFacts(ph, "Set", map[string]methodFact{
+		"Insert":   {phase: PhaseInsert},
+		"Delete":   {phase: PhaseDelete},
+		"Contains": {phase: PhaseRead},
+		"Elements": {phase: PhaseRead, capture: true},
+		"Count":    {phase: PhaseRead, capture: true},
+	})
+	addFacts(ph, "Map32", map[string]methodFact{
+		"Insert":  {phase: PhaseInsert},
+		"Delete":  {phase: PhaseDelete},
+		"Find":    {phase: PhaseRead},
+		"Entries": {phase: PhaseRead, capture: true},
+		"Count":   {phase: PhaseRead, capture: true},
+	})
+	addFacts(ph, "StringMap", map[string]methodFact{
+		"Insert":  {phase: PhaseInsert},
+		"Delete":  {phase: PhaseDelete},
+		"Find":    {phase: PhaseRead},
+		"Entries": {phase: PhaseRead, capture: true},
+		"Count":   {phase: PhaseRead, capture: true},
+	})
+	addFacts(ph, "GrowSet", map[string]methodFact{
+		"Insert":   {phase: PhaseInsert},
+		"Delete":   {phase: PhaseDelete},
+		"Contains": {phase: PhaseRead},
+		"Elements": {phase: PhaseRead, capture: true},
+		"Count":    {phase: PhaseRead, capture: true},
+	})
+	// internal/core tables (generic; looked up by their generic name).
+	addFacts(core, "WordTable", map[string]methodFact{
+		"Insert":        {phase: PhaseInsert},
+		"InsertLimited": {phase: PhaseInsert},
+		"Delete":        {phase: PhaseDelete},
+		"Find":          {phase: PhaseRead},
+		"Contains":      {phase: PhaseRead},
+		"Elements":      {phase: PhaseRead, capture: true},
+		"ElementsInto":  {phase: PhaseRead, capture: true},
+		"Count":         {phase: PhaseRead, capture: true},
+		"CountAtomic":   {phase: PhaseRead, capture: true},
+		"ForEach":       {phase: PhaseRead},
+	})
+	addFacts(core, "PtrTable", map[string]methodFact{
+		"Insert":   {phase: PhaseInsert},
+		"Delete":   {phase: PhaseDelete},
+		"Find":     {phase: PhaseRead},
+		"Elements": {phase: PhaseRead, capture: true},
+		"Count":    {phase: PhaseRead, capture: true},
+	})
+	addFacts(core, "GrowTable", map[string]methodFact{
+		"Insert":   {phase: PhaseInsert},
+		"Delete":   {phase: PhaseDelete},
+		"Find":     {phase: PhaseRead},
+		"Contains": {phase: PhaseRead},
+		"Elements": {phase: PhaseRead, capture: true},
+		"Count":    {phase: PhaseRead, capture: true},
+	})
+}
+
+// normalizePkgPath strips the test-variant suffix go vet uses for test
+// compilation units ("phasehash [phasehash.test]" -> "phasehash").
+func normalizePkgPath(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+// classify returns the phase fact for a called method object, or
+// ok=false if the method is not phase-disciplined.
+func classify(fn *types.Func) (typeName string, fact methodFact, ok bool) {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", methodFact{}, false
+	}
+	rt := sig.Recv().Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed {
+		return "", methodFact{}, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", methodFact{}, false
+	}
+	pkg := normalizePkgPath(obj.Pkg().Path())
+	fact, ok = phaseFacts[factKey{pkg, obj.Name(), fn.Name()}]
+	return pkg + "." + obj.Name(), fact, ok
+}
+
+// wrapperFor suggests the checked twin for a classified type name, or
+// a generic hint when none is registered.
+func wrapperFor(typeName string) string {
+	if w, ok := checkedWrapper[typeName]; ok {
+		return w
+	}
+	return "a Checked* wrapper"
+}

@@ -1,0 +1,626 @@
+package phasevet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+)
+
+// PhaseVet is the phase-discipline analyzer.
+var PhaseVet = &Analyzer{
+	Name: "phasevet",
+	Doc: `report phase-discipline violations on phasehash tables
+
+The phase-concurrent contract requires that insert, delete and read
+operations on the same table never overlap in time unless they belong
+to the same phase. phasevet tracks, within each function body, which
+phases may still be in flight on each table — operations issued in go
+statements stay in flight until a barrier (sync.WaitGroup.Wait, a
+channel receive, a parallel.For/Do call returning, a select statement,
+or an explicit //phasehash:barrier comment) — and reports:
+
+  mixedphases:  an operation that may overlap in-flight operations of
+                a different phase on the same table
+  gomix:        a raw (non-Checked) table operation inside a go
+                statement or parallel closure that conflicts with the
+                enclosing scope's in-flight or sibling operations
+  readcapture:  an Elements/Count/Entries result captured while an
+                insert or delete phase is still in flight
+
+A //phasehash:ignore comment on the operation's line suppresses the
+diagnostic.`,
+	Run: run,
+}
+
+func run(pass *Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ann := collectAnnotations(pass.Fset, f)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				newChecker(pass, ann).walkBody(fd.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// CountTableOps reports how many phase-classified table operation
+// call sites appear in the package. The repo self-audit test uses it
+// to prove the fact table engages on real code — a clean analyzer run
+// over a package with zero classified sites would be vacuous.
+func CountTableOps(pass *Pass) int {
+	n := 0
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func); ok {
+				if _, _, ok := classify(fn); ok {
+					n++
+				}
+			}
+			return true
+		})
+	}
+	return n
+}
+
+// annotations holds the //phasehash:barrier positions (sorted) and
+// //phasehash:ignore line numbers of one file.
+type annotations struct {
+	barriers []token.Pos
+	ignores  map[int]bool
+}
+
+func collectAnnotations(fset *token.FileSet, f *ast.File) *annotations {
+	ann := &annotations{ignores: map[int]bool{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			switch c.Text {
+			case "//phasehash:barrier":
+				ann.barriers = append(ann.barriers, c.End())
+			case "//phasehash:ignore":
+				ann.ignores[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	sort.Slice(ann.barriers, func(i, j int) bool { return ann.barriers[i] < ann.barriers[j] })
+	return ann
+}
+
+// opInfo is one classified table operation site.
+type opInfo struct {
+	recvKey  string // stable identity of the receiver expression
+	recvText string // receiver as written, for diagnostics
+	typeName string // "phasehash.Set" etc.
+	method   string
+	fact     methodFact
+	pos      token.Pos
+}
+
+// flight records the first operation of a phase still in flight on a
+// receiver.
+type flight struct {
+	pos    token.Pos
+	method string
+}
+
+// opContext says where an operation site occurs.
+type opContext int
+
+const (
+	ctxSync     opContext = iota // plain synchronous call
+	ctxGo                        // inside a go statement
+	ctxParallel                  // inside a parallel.For/Do closure
+)
+
+type checker struct {
+	pass *Pass
+	ann  *annotations
+	// inflight maps receiver key -> phase -> first in-flight op.
+	inflight map[string]map[Phase]flight
+	// barrierMark is the highest position up to which barrier comments
+	// have been consumed.
+	barrierMark token.Pos
+}
+
+func newChecker(pass *Pass, ann *annotations) *checker {
+	return &checker{pass: pass, ann: ann, inflight: map[string]map[Phase]flight{}}
+}
+
+func (c *checker) walkBody(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) clearInflight() {
+	if len(c.inflight) > 0 {
+		c.inflight = map[string]map[Phase]flight{}
+	}
+}
+
+// crossBarrierComments clears in-flight state if a //phasehash:barrier
+// comment lies between the last visited position and pos.
+func (c *checker) crossBarrierComments(pos token.Pos) {
+	if pos <= c.barrierMark {
+		return
+	}
+	i := sort.Search(len(c.ann.barriers), func(i int) bool { return c.ann.barriers[i] > c.barrierMark })
+	if i < len(c.ann.barriers) && c.ann.barriers[i] < pos {
+		c.clearInflight()
+	}
+	c.barrierMark = pos
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	c.crossBarrierComments(s.Pos())
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		c.walkBody(st)
+	case *ast.ExprStmt:
+		c.expr(st.X)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			c.expr(e)
+		}
+		for _, e := range st.Lhs {
+			c.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		c.goStmt(st)
+	case *ast.DeferStmt:
+		// Deferred work runs at return; analyze closures on their own
+		// but do not fold their operations into this scope's order.
+		for _, arg := range st.Call.Args {
+			c.expr(arg)
+		}
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			c.separateContext(fl)
+		}
+	case *ast.IfStmt:
+		c.stmt(st.Init)
+		c.expr(st.Cond)
+		c.stmt(st.Body)
+		c.stmt(st.Else)
+	case *ast.ForStmt:
+		c.stmt(st.Init)
+		c.expr(st.Cond)
+		c.stmt(st.Body)
+		c.stmt(st.Post)
+	case *ast.RangeStmt:
+		if t := c.pass.TypesInfo.TypeOf(st.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				// Each iteration receives from the channel: barrier.
+				c.clearInflight()
+			}
+		}
+		c.expr(st.X)
+		c.stmt(st.Body)
+	case *ast.SwitchStmt:
+		c.stmt(st.Init)
+		c.expr(st.Tag)
+		c.stmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		c.stmt(st.Init)
+		c.stmt(st.Assign)
+		c.stmt(st.Body)
+	case *ast.SelectStmt:
+		// A select completes a communication: barrier.
+		c.clearInflight()
+		c.stmt(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			c.expr(e)
+		}
+		for _, s2 := range st.Body {
+			c.stmt(s2)
+		}
+	case *ast.CommClause:
+		c.stmt(st.Comm)
+		for _, s2 := range st.Body {
+			c.stmt(s2)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			c.expr(e)
+		}
+	case *ast.SendStmt:
+		c.expr(st.Chan)
+		c.expr(st.Value)
+	case *ast.IncDecStmt:
+		c.expr(st.X)
+	case *ast.LabeledStmt:
+		c.stmt(st.Stmt)
+	}
+}
+
+// expr scans an expression in approximate evaluation order, handling
+// table operations, barriers, parallel-runtime calls and closures.
+func (c *checker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	sawReceive := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch nd := n.(type) {
+		case *ast.FuncLit:
+			// A closure not consumed by a recognized concurrency
+			// primitive: analyze its body as its own sequential scope.
+			c.separateContext(nd)
+			return false
+		case *ast.CallExpr:
+			return !c.call(nd)
+		case *ast.UnaryExpr:
+			if nd.Op == token.ARROW {
+				sawReceive = true
+			}
+		}
+		return true
+	})
+	if sawReceive {
+		c.clearInflight()
+	}
+}
+
+// call handles one call expression. It returns true if the call (and
+// its arguments) were fully handled and the walker must not descend.
+func (c *checker) call(call *ast.CallExpr) bool {
+	switch kind, _ := c.calleeKind(call); kind {
+	case calleeParallelLoop:
+		c.parallelLoop(call)
+		return true
+	case calleeParallelDo:
+		c.parallelDo(call)
+		return true
+	case calleeWait:
+		c.clearInflight()
+		return true
+	case calleeTableOp:
+		for _, arg := range call.Args {
+			c.expr(arg)
+		}
+		if op, ok := c.opAt(call); ok {
+			c.checkOp(op, ctxSync)
+		}
+		return true
+	}
+	return false
+}
+
+type calleeKind int
+
+const (
+	calleeOther calleeKind = iota
+	calleeParallelLoop
+	calleeParallelDo
+	calleeWait
+	calleeTableOp
+)
+
+const parallelPkg = "phasehash/internal/parallel"
+
+// calleeKind classifies the function being called.
+func (c *checker) calleeKind(call *ast.CallExpr) (calleeKind, *types.Func) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.ObjectOf(fun.Sel)
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			obj = c.pass.TypesInfo.ObjectOf(id)
+		} else if sel, ok := fun.X.(*ast.SelectorExpr); ok {
+			obj = c.pass.TypesInfo.ObjectOf(sel.Sel)
+		}
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return calleeOther, nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, isPtr := rt.(*types.Pointer); isPtr {
+			rt = p.Elem()
+		}
+		if named, isNamed := rt.(*types.Named); isNamed {
+			o := named.Obj()
+			if fn.Name() == "Wait" && o.Pkg() != nil && o.Pkg().Path() == "sync" && o.Name() == "WaitGroup" {
+				return calleeWait, fn
+			}
+		}
+		if _, _, ok := classify(fn); ok {
+			return calleeTableOp, fn
+		}
+		return calleeOther, fn
+	}
+	if fn.Pkg() != nil && normalizePkgPath(fn.Pkg().Path()) == parallelPkg {
+		switch fn.Name() {
+		case "For", "ForGrain", "ForBlocked", "Reduce", "Sum":
+			return calleeParallelLoop, fn
+		case "Do":
+			return calleeParallelDo, fn
+		}
+	}
+	return calleeOther, fn
+}
+
+// opAt builds the opInfo for a classified table-operation call site,
+// or ok=false when the receiver cannot be tracked.
+func (c *checker) opAt(call *ast.CallExpr) (opInfo, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return opInfo{}, false
+	}
+	fn, ok := c.pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return opInfo{}, false
+	}
+	typeName, fact, ok := classify(fn)
+	if !ok {
+		return opInfo{}, false
+	}
+	key, ok := c.recvKey(sel.X)
+	if !ok {
+		return opInfo{}, false
+	}
+	return opInfo{
+		recvKey:  key,
+		recvText: types.ExprString(sel.X),
+		typeName: typeName,
+		method:   fn.Name(),
+		fact:     fact,
+		pos:      call.Pos(),
+	}, true
+}
+
+// recvKey computes a stable identity for a receiver expression within
+// this function: the declaring object for the root, plus the selector
+// and index path as written.
+func (c *checker) recvKey(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.ObjectOf(x)
+		if obj == nil {
+			return "", false
+		}
+		return obj.Name() + "@" + strconv.Itoa(int(obj.Pos())), true
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := c.pass.TypesInfo.ObjectOf(id).(*types.PkgName); isPkg {
+				obj := c.pass.TypesInfo.ObjectOf(x.Sel)
+				if obj == nil {
+					return "", false
+				}
+				return obj.Name() + "@" + strconv.Itoa(int(obj.Pos())), true
+			}
+		}
+		base, ok := c.recvKey(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.IndexExpr:
+		base, ok := c.recvKey(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "[" + types.ExprString(x.Index) + "]", true
+	case *ast.StarExpr:
+		return c.recvKey(x.X)
+	case *ast.ParenExpr:
+		return c.recvKey(x.X)
+	}
+	return "", false
+}
+
+// goStmt handles `go f(...)`: every table operation reachable in the
+// spawned call stays in flight until the next barrier.
+func (c *checker) goStmt(g *ast.GoStmt) {
+	var ops []opInfo
+	if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		ops = c.collectOps(fl.Body)
+		// The body also gets its own sequential analysis, so internal
+		// go statements and parallel closures are checked there.
+		c.separateContext(fl)
+	} else if op, ok := c.opAt(g.Call); ok {
+		ops = []opInfo{op}
+	}
+	for _, arg := range g.Call.Args {
+		c.expr(arg)
+	}
+	// Check all spawned ops against the phases already in flight, then
+	// record them; operations within one goroutine are sequential with
+	// each other and must not be cross-flagged here.
+	for _, op := range ops {
+		c.checkOp(op, ctxGo)
+	}
+	for _, op := range ops {
+		c.addInflight(op)
+	}
+}
+
+// parallelLoop handles parallel.For/ForGrain/ForBlocked/Reduce/Sum:
+// the closure body runs concurrently with itself, and the call's
+// return is a happens-before barrier.
+func (c *checker) parallelLoop(call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		fl, ok := arg.(*ast.FuncLit)
+		if !ok {
+			c.expr(arg)
+			continue
+		}
+		ops := c.collectOps(fl.Body)
+		seen := map[string]opInfo{}
+		for _, op := range ops {
+			c.checkOp(op, ctxParallel)
+			k := op.recvKey + "#" + op.fact.phase.String()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			for _, prev := range seenPhases(seen, op.recvKey) {
+				if prev.fact.phase != op.fact.phase {
+					c.reportClosureMix(op, prev)
+					break
+				}
+			}
+			seen[k] = op
+		}
+		c.separateContext(fl)
+	}
+	c.clearInflight()
+}
+
+func seenPhases(seen map[string]opInfo, recvKey string) []opInfo {
+	var out []opInfo
+	for _, p := range []Phase{PhaseInsert, PhaseDelete, PhaseRead} {
+		if op, ok := seen[recvKey+"#"+p.String()]; ok {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// parallelDo handles parallel.Do(f, g, ...): the closures run
+// concurrently with each other (but each runs once), and the call's
+// return is a barrier.
+func (c *checker) parallelDo(call *ast.CallExpr) {
+	type sibling struct {
+		ops []opInfo
+	}
+	var sibs []sibling
+	for _, arg := range call.Args {
+		fl, ok := arg.(*ast.FuncLit)
+		if !ok {
+			c.expr(arg)
+			continue
+		}
+		ops := c.collectOps(fl.Body)
+		for _, op := range ops {
+			c.checkOp(op, ctxParallel)
+		}
+		c.separateContext(fl)
+		sibs = append(sibs, sibling{ops: ops})
+	}
+	// Cross-check siblings: different phases on the same receiver in
+	// two concurrently-running closures conflict.
+	for i := 1; i < len(sibs); i++ {
+		for _, op := range sibs[i].ops {
+			for j := 0; j < i; j++ {
+				for _, prev := range sibs[j].ops {
+					if prev.recvKey == op.recvKey && prev.fact.phase != op.fact.phase {
+						c.reportClosureMix(op, prev)
+						j = i
+						break
+					}
+				}
+			}
+		}
+	}
+	c.clearInflight()
+}
+
+// collectOps gathers every classified table operation syntactically
+// reachable in node, including inside nested closures — used for code
+// that will run concurrently, where internal sequencing cannot order
+// operations against other instances of the same closure.
+func (c *checker) collectOps(node ast.Node) []opInfo {
+	var ops []opInfo
+	ast.Inspect(node, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := c.opAt(call); ok {
+				ops = append(ops, op)
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// separateContext analyzes a closure body as its own sequential scope
+// with fresh in-flight state.
+func (c *checker) separateContext(fl *ast.FuncLit) {
+	sub := newChecker(c.pass, c.ann)
+	sub.barrierMark = c.barrierMark
+	sub.walkBody(fl.Body)
+}
+
+func (c *checker) addInflight(op opInfo) {
+	m := c.inflight[op.recvKey]
+	if m == nil {
+		m = map[Phase]flight{}
+		c.inflight[op.recvKey] = m
+	}
+	if _, ok := m[op.fact.phase]; !ok {
+		m[op.fact.phase] = flight{pos: op.pos, method: op.method}
+	}
+}
+
+// checkOp reports a conflict if op's phase differs from any phase in
+// flight on the same receiver.
+func (c *checker) checkOp(op opInfo, ctx opContext) {
+	if c.ann.ignores[c.line(op.pos)] {
+		return
+	}
+	m := c.inflight[op.recvKey]
+	for _, ph := range []Phase{PhaseInsert, PhaseDelete, PhaseRead} {
+		fl, ok := m[ph]
+		if !ok || ph == op.fact.phase {
+			continue
+		}
+		c.reportConflict(op, ph, fl, ctx)
+		return
+	}
+}
+
+func (c *checker) line(p token.Pos) int { return c.pass.Fset.Position(p).Line }
+
+func (c *checker) reportConflict(op opInfo, inFlight Phase, fl flight, ctx opContext) {
+	writeInFlight := inFlight == PhaseInsert || inFlight == PhaseDelete
+	switch {
+	case op.fact.capture && writeInFlight:
+		c.pass.Reportf(op.pos, "readcapture",
+			"phase violation: %s.%s result on %s captured while %s-phase operations started at line %d may still be in flight; wait for the phase to drain (sync.WaitGroup.Wait, channel receive, or //phasehash:barrier) before reading",
+			op.typeName, op.method, op.recvText, inFlight, c.line(fl.pos))
+	case ctx != ctxSync:
+		c.pass.Reportf(op.pos, "gomix",
+			"phase violation: raw %s.%s (%s phase) on %s inside a goroutine or parallel closure may overlap %s-phase operations started at line %d; separate the phases with a barrier or wrap the table with %s",
+			op.typeName, op.method, op.fact.phase, op.recvText, inFlight, c.line(fl.pos), wrapperFor(op.typeName))
+	default:
+		c.pass.Reportf(op.pos, "mixedphases",
+			"phase violation: %s.%s (%s phase) on %s may overlap %s-phase operations started at line %d with no intervening barrier; add sync.WaitGroup.Wait, a channel receive, or //phasehash:barrier, or wrap the table with %s",
+			op.typeName, op.method, op.fact.phase, op.recvText, inFlight, c.line(fl.pos), wrapperFor(op.typeName))
+	}
+}
+
+func (c *checker) reportClosureMix(op opInfo, prev opInfo) {
+	if c.ann.ignores[c.line(op.pos)] {
+		return
+	}
+	c.pass.Reportf(op.pos, "gomix",
+		"phase violation: parallel closure mixes %s-phase %s.%s with %s-phase %s (line %d) on %s; concurrent iterations will overlap the two phases — split the loop or wrap the table with %s",
+		op.fact.phase, op.typeName, op.method, prev.fact.phase, prev.method, c.line(prev.pos), op.recvText, wrapperFor(op.typeName))
+}

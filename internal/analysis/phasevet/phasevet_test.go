@@ -1,0 +1,155 @@
+package phasevet_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"phasehash/internal/analysis/load"
+	"phasehash/internal/analysis/phasevet"
+)
+
+// TestCorpus runs the analyzer over the testdata/src corpus and checks
+// the reported diagnostics against the `// want "regexp"` annotations,
+// in the style of golang.org/x/tools/go/analysis/analysistest. Every
+// diagnostic must be expected, every expectation must fire, and each
+// corpus package must produce exactly the diagnostic categories it is
+// written to exercise.
+func TestCorpus(t *testing.T) {
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		pkg        string
+		categories []string // categories this package must produce
+	}{
+		{"basic", []string{"mixedphases", "readcapture"}},
+		{"gomixed", []string{"gomix"}},
+		{"barriers", []string{"readcapture"}},
+		{"wrappers", []string{"mixedphases", "readcapture"}},
+		{"coretab", []string{"mixedphases", "readcapture", "gomix"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.pkg, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.pkg)
+			pkg, err := loader.LoadDir(tc.pkg, dir, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var diags []phasevet.Diagnostic
+			pass := &phasevet.Pass{
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d phasevet.Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := phasevet.PhaseVet.Run(pass); err != nil {
+				t.Fatal(err)
+			}
+			wants, err := parseWants(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotCategories := map[string]bool{}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				gotCategories[d.Category] = true
+				matched := false
+				for _, w := range wants {
+					if w.file == filepath.Base(pos.Filename) && w.line == pos.Line && !w.matched && w.re.MatchString(d.Message) {
+						w.matched = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic at %s:%d [%s]: %s",
+						filepath.Base(pos.Filename), pos.Line, d.Category, d.Message)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q was not reported", w.file, w.line, w.re)
+				}
+			}
+			for _, cat := range tc.categories {
+				if !gotCategories[cat] {
+					t.Errorf("category %q was not exercised by package %s", cat, tc.pkg)
+				}
+			}
+			for cat := range gotCategories {
+				found := false
+				for _, want := range tc.categories {
+					if cat == want {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("package %s unexpectedly produced category %q", tc.pkg, cat)
+				}
+			}
+		})
+	}
+}
+
+type wantAnnotation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+// parseWants scans every corpus file for `// want` annotations, one
+// backquoted regexp per line.
+func parseWants(dir string) ([]*wantAnnotation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*wantAnnotation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRE.FindAllStringSubmatch(sc.Text(), -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					f.Close()
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", e.Name(), line, err)
+				}
+				wants = append(wants, &wantAnnotation{file: e.Name(), line: line, re: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+	}
+	return wants, nil
+}
+
+// TestAnalyzerMetadata pins the analyzer's name, which CI and the
+// Makefile reference.
+func TestAnalyzerMetadata(t *testing.T) {
+	if phasevet.PhaseVet.Name != "phasevet" {
+		t.Fatalf("analyzer name = %q", phasevet.PhaseVet.Name)
+	}
+	if !strings.Contains(phasevet.PhaseVet.Doc, "phasehash:barrier") {
+		t.Fatal("analyzer doc does not document the //phasehash:barrier annotation")
+	}
+}

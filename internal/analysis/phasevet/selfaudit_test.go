@@ -1,0 +1,58 @@
+package phasevet_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"phasehash/internal/analysis/load"
+	"phasehash/internal/analysis/phasevet"
+)
+
+// TestRepoIsPhaseClean runs the analyzer over every package of this
+// module and requires zero diagnostics — the same gate CI applies with
+// `go vet -vettool` — while also checking the analyzer actually
+// classified a meaningful number of table operations, so a silent
+// fact-table regression cannot make the gate vacuously green.
+func TestRepoIsPhaseClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module from source")
+	}
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(loader.ModuleDir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; expected the whole module", len(pkgs))
+	}
+	totalOps := 0
+	for _, pkg := range pkgs {
+		pass := &phasevet.Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report: func(d phasevet.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				rel, err := filepath.Rel(loader.ModuleDir, pos.Filename)
+				if err != nil {
+					rel = pos.Filename
+				}
+				t.Errorf("%s:%d: [%s] %s", rel, pos.Line, d.Category, d.Message)
+			},
+		}
+		if _, err := phasevet.PhaseVet.Run(pass); err != nil {
+			t.Fatal(err)
+		}
+		totalOps += phasevet.CountTableOps(pass)
+	}
+	// The examples, cmd drivers and apps are heavy table users; far
+	// more sites than this exist today.
+	t.Logf("classified %d table operation sites", totalOps)
+	if totalOps < 50 {
+		t.Errorf("only %d classified table operations across the module; fact table may have regressed", totalOps)
+	}
+}

@@ -1,0 +1,80 @@
+// Package barriers exercises every happens-before edge the analyzer
+// recognizes: channel receive, range-over-channel, select, and the
+// explicit //phasehash:barrier annotation, plus //phasehash:ignore
+// suppression.
+package barriers
+
+import "phasehash"
+
+func channelReceiveBarrierOK() {
+	s := phasehash.NewSet(64)
+	done := make(chan struct{})
+	go func() {
+		s.Insert(1)
+		close(done)
+	}()
+	<-done
+	_ = s.Elements()
+}
+
+// join is an opaque synchronization helper the analyzer cannot see
+// through; the annotation asserts the happens-before edge.
+func annotatedBarrierOK(join func()) {
+	s := phasehash.NewSet(64)
+	go s.Insert(1)
+	join()
+	//phasehash:barrier
+	_ = s.Elements()
+}
+
+func missingBarrier(join func()) {
+	s := phasehash.NewSet(64)
+	go s.Insert(1)
+	join()
+	_ = s.Elements() // want `Elements result on s captured while insert-phase operations`
+}
+
+func ignoredFinding(join func()) {
+	s := phasehash.NewSet(64)
+	go s.Insert(1)
+	join()
+	_ = s.Elements() //phasehash:ignore
+}
+
+func rangeOverChannelBarrierOK() {
+	s := phasehash.NewSet(64)
+	results := make(chan uint64, 8)
+	go func() {
+		s.Insert(1)
+		results <- 1
+		close(results)
+	}()
+	for range results {
+	}
+	_ = s.Count()
+}
+
+func selectBarrierOK() {
+	s := phasehash.NewSet(64)
+	done := make(chan struct{})
+	go func() {
+		s.Insert(1)
+		close(done)
+	}()
+	select {
+	case <-done:
+	}
+	_ = s.Count()
+}
+
+func receiveInAssignmentBarrierOK() {
+	s := phasehash.NewSet(64)
+	out := make(chan int, 1)
+	go func() {
+		s.Delete(3)
+		out <- 1
+	}()
+	n := <-out
+	_ = n
+	_ = s.Elements()
+}

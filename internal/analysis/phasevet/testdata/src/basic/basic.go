@@ -1,0 +1,88 @@
+// Package basic exercises the mixedphases and readcapture diagnostics
+// on the plain Set, with negative cases for sequential code and
+// WaitGroup barriers.
+package basic
+
+import (
+	"sync"
+
+	"phasehash"
+)
+
+// Sequential phase changes on one goroutine are always safe: each
+// operation completes before the next begins, so phases never overlap.
+func sequentialOK() {
+	s := phasehash.NewSet(64)
+	s.Insert(1)
+	s.Delete(1)
+	_ = s.Contains(1)
+	_ = s.Elements()
+	_ = s.Count()
+}
+
+// A WaitGroup join is a phase barrier: inserts drained before reads.
+func waitBarrierOK() {
+	s := phasehash.NewSet(64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Insert(1)
+	}()
+	wg.Wait()
+	_ = s.Elements()
+	_ = s.Contains(1)
+}
+
+func mixedWithoutBarrier() {
+	s := phasehash.NewSet(64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Insert(1)
+	}()
+	_ = s.Contains(1) // want `Contains \(read phase\) on s may overlap insert-phase operations`
+	wg.Wait()
+}
+
+func captureDuringInsert() {
+	s := phasehash.NewSet(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Insert(uint64(w + 1))
+		}()
+	}
+	_ = s.Elements() // want `Elements result on s captured while insert-phase operations`
+	wg.Wait()
+}
+
+func countAfterDrainOK() {
+	s := phasehash.NewSet(64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Insert(1)
+	}()
+	wg.Wait()
+	_ = s.Count()
+}
+
+func deleteWhileInsertInFlight() {
+	s := phasehash.NewSet(64)
+	go s.Insert(1)
+	s.Delete(2) // want `Delete \(delete phase\) on s may overlap insert-phase operations`
+}
+
+// Operations on distinct tables never interfere.
+func distinctReceiversOK() {
+	a := phasehash.NewSet(64)
+	b := phasehash.NewSet(64)
+	go a.Insert(1)
+	_ = b.Elements()
+	_ = b.Contains(1)
+}

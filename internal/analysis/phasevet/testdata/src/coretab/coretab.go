@@ -1,0 +1,49 @@
+// Package coretab exercises the diagnostics on the internal/core
+// tables, which application packages use directly.
+package coretab
+
+import (
+	"phasehash/internal/core"
+	"phasehash/internal/parallel"
+)
+
+func wordTableMixed() {
+	t := core.NewWordTable[core.SetOps](64)
+	go t.Insert(1)
+	_, _ = t.Find(1) // want `Find \(read phase\) on t may overlap insert-phase operations`
+}
+
+func wordTableLoopOK() {
+	t := core.NewWordTable[core.SetOps](64)
+	parallel.For(100, func(i int) {
+		t.Insert(uint64(i + 1))
+	})
+	_ = t.Elements()
+	_ = t.Count()
+}
+
+func wordTableLoopSelfMix() {
+	t := core.NewWordTable[core.SetOps](64)
+	parallel.For(100, func(i int) {
+		t.Insert(uint64(i + 1))
+		t.Delete(uint64(i + 1)) // want `parallel closure mixes delete-phase`
+	})
+}
+
+func growTableCapture() {
+	g := core.NewGrowTable[core.SetOps](16)
+	go g.Insert(1)
+	_ = g.Count() // want `Count result on g captured while insert-phase operations`
+}
+
+func growTableBarrierOK() {
+	g := core.NewGrowTable[core.SetOps](16)
+	done := make(chan struct{})
+	go func() {
+		g.Insert(1)
+		close(done)
+	}()
+	<-done
+	_ = g.Count()
+	_ = g.Elements()
+}

@@ -1,0 +1,96 @@
+// Package gomixed exercises the gomix diagnostic: raw table
+// operations inside go statements and parallel closures that conflict
+// with in-flight or sibling operations.
+package gomixed
+
+import (
+	"phasehash"
+	"phasehash/internal/parallel"
+)
+
+func twoGoroutinesMixed() {
+	s := phasehash.NewSet(64)
+	done := make(chan struct{}, 2)
+	go func() {
+		s.Insert(1)
+		done <- struct{}{}
+	}()
+	go func() {
+		s.Delete(2) // want `Delete \(delete phase\) on s inside a goroutine or parallel closure may overlap insert-phase`
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+func twoGoroutinesSamePhaseOK() {
+	s := phasehash.NewSet(64)
+	done := make(chan struct{}, 2)
+	go func() {
+		s.Insert(1)
+		done <- struct{}{}
+	}()
+	go func() {
+		s.Insert(2)
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+func parallelClosureVsInFlight() {
+	s := phasehash.NewSet(64)
+	go s.Insert(1)
+	parallel.For(8, func(i int) {
+		_ = s.Contains(uint64(i + 1)) // want `Contains \(read phase\) on s inside a goroutine or parallel closure may overlap insert-phase`
+	})
+}
+
+func parallelClosureSelfMix() {
+	s := phasehash.NewSet(64)
+	parallel.For(8, func(i int) {
+		s.Insert(uint64(i + 1))
+		_ = s.Contains(uint64(i + 1)) // want `parallel closure mixes read-phase phasehash\.Set\.Contains with insert-phase Insert`
+	})
+}
+
+func parallelClosureSinglePhaseOK() {
+	s := phasehash.NewSet(64)
+	parallel.For(8, func(i int) {
+		s.Insert(uint64(i + 1))
+	})
+	// parallel.For returning is a barrier: the read phase is legal.
+	_ = s.Elements()
+	_ = s.Count()
+}
+
+func parallelDoSiblingsMixed() {
+	s := phasehash.NewSet(64)
+	parallel.Do(
+		func() { s.Insert(1) },
+		func() { _ = s.Count() }, // want `parallel closure mixes read-phase phasehash\.Set\.Count with insert-phase Insert`
+	)
+}
+
+func parallelDoSiblingsSamePhaseOK() {
+	s := phasehash.NewSet(64)
+	parallel.Do(
+		func() { s.Insert(1) },
+		func() { s.Insert(2) },
+	)
+	_ = s.Count()
+}
+
+// Within one parallel.Do closure, phases are sequential and safe as
+// long as no sibling touches the same table.
+func parallelDoSequentialInsideOK() {
+	s := phasehash.NewSet(64)
+	t := phasehash.NewSet(64)
+	parallel.Do(
+		func() {
+			s.Insert(1)
+			_ = s.Contains(1)
+		},
+		func() { t.Insert(2) },
+	)
+}

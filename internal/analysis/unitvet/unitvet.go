@@ -1,0 +1,187 @@
+// Package unitvet implements the go vet "unitchecker" protocol with
+// only the standard library, so cmd/phasevet can be used as
+//
+//	go vet -vettool=$(which phasevet) ./...
+//
+// The go command probes the tool with -V=full and -flags, then invokes
+// it once per compilation unit with a JSON *.cfg file describing the
+// unit's Go files and the export data of its dependencies. This mirrors
+// golang.org/x/tools/go/analysis/unitchecker, which this module cannot
+// depend on.
+package unitvet
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"phasehash/internal/analysis/phasevet"
+)
+
+// config is the JSON unit description the go command passes in the
+// *.cfg file (a subset of cmd/go's vet config).
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Handles reports whether args is a go-vet driver invocation: a
+// version/flags probe or a single unit config file.
+func Handles(args []string) bool {
+	for _, a := range args {
+		if a == "-flags" || a == "-V=full" || strings.HasPrefix(a, "-V=") {
+			return true
+		}
+	}
+	return len(args) == 1 && strings.HasSuffix(args[0], ".cfg")
+}
+
+// Main services one go-vet driver invocation and exits.
+func Main(a *phasevet.Analyzer, args []string) {
+	for _, arg := range args {
+		switch {
+		case arg == "-flags":
+			// The go command asks which analyzer flags the tool
+			// accepts so it can forward -vet flags; we define none.
+			fmt.Println("[]")
+			os.Exit(0)
+		case strings.HasPrefix(arg, "-V"):
+			printVersion()
+			os.Exit(0)
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "unitvet: expected a single .cfg argument, got %q\n", args)
+		os.Exit(1)
+	}
+	os.Exit(runUnit(a, args[0]))
+}
+
+// printVersion emits the version line the go command's tool-ID probe
+// expects: "<name> version <version>", with a content hash so that
+// rebuilding the tool invalidates go vet's result cache.
+func printVersion() {
+	self, err := os.Executable()
+	if err != nil {
+		self = os.Args[0]
+	}
+	h := sha256.New()
+	if f, err := os.Open(self); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", os.Args[0], h.Sum(nil))
+}
+
+func runUnit(a *phasevet.Analyzer, cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unitvet: %v\n", err)
+		return 1
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "unitvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The go command expects the facts output file to exist even
+	// though phasevet uses no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "unitvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency unit, vetted only for facts: nothing to do.
+		return 0
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "unitvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tc := &types.Config{Importer: imp}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "unitvet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	found := 0
+	pass := &phasevet.Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report: func(d phasevet.Diagnostic) {
+			found++
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		fmt.Fprintf(os.Stderr, "unitvet: %s: %v\n", a.Name, err)
+		return 1
+	}
+	if found > 0 {
+		return 2
+	}
+	return 0
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

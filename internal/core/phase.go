@@ -70,7 +70,8 @@ func (g *PhaseGuard) Enter(p Phase) error {
 			continue
 		}
 		if cur != p {
-			return fmt.Errorf("core: phase violation: %v operation started during %v phase", p, cur)
+			return fmt.Errorf("core: phase violation: %s operation started during %s phase (%d in flight)",
+				p.String(), cur.String(), n)
 		}
 		if g.state.CompareAndSwap(s, packState(p, n+1)) {
 			return nil

@@ -26,9 +26,21 @@
 //
 // # Checked mode
 //
-// Wrap any container with Checked to detect phase-discipline violations
-// at runtime during development; the check costs two atomic operations
-// per table operation and is off the benchmarked paths.
+// Wrap any container with its checked twin — Checked for Set,
+// NewCheckedMap32, NewCheckedStringMap, NewCheckedGrowSet — to detect
+// phase-discipline violations at runtime during development; the check
+// costs two atomic operations per table operation and is off the
+// benchmarked paths.
+//
+// # Static checking
+//
+// The runtime check only fires when the schedule interleaves the
+// offending operations. The phasevet analyzer (cmd/phasevet,
+// internal/analysis/phasevet) finds the same bug class at compile
+// time: run `go vet -vettool=$(which phasevet) ./...` or
+// `go run ./cmd/phasevet ./...`. Joins hidden behind helpers the
+// analyzer cannot see can be asserted with a //phasehash:barrier
+// comment; see the "Static checking" section of README.md.
 package phasehash
 
 import (
