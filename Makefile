@@ -3,7 +3,7 @@
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: all build test race lint phasevet fmt fuzz install-phasevet
+.PHONY: all build test race lint phasevet fmt fuzz chaos soak install-phasevet
 
 all: build test lint
 
@@ -36,3 +36,15 @@ install-phasevet:
 fuzz:
 	go test -fuzz=FuzzWordTableOps -fuzztime=30s ./internal/core
 	go test -fuzz=FuzzGrowTable -fuzztime=30s ./internal/core
+	go test -tags chaos -fuzz=FuzzGrowTableChaos -fuzztime=30s ./internal/core
+
+# chaos = the fault-injected determinism gate CI blocks on: the whole
+# test suite plus the detres oracle grid with injection armed.
+chaos:
+	go test -tags chaos ./...
+
+# soak = a longer fault-injected oracle run with fresh seeds per round
+# (non-blocking in CI; run locally when touching probe or migration
+# paths).
+soak:
+	go run -tags chaos ./cmd/phload -chaos -soak 2m

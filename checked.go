@@ -27,6 +27,13 @@ func (c *CheckedSet) Insert(k uint64) bool {
 	return c.s.Insert(k)
 }
 
+// TryInsert is Set.TryInsert with phase checking.
+func (c *CheckedSet) TryInsert(k uint64) (bool, error) {
+	c.enter(core.PhaseInsert)
+	defer c.guard.Exit(core.PhaseInsert)
+	return c.s.TryInsert(k)
+}
+
 // Delete is Set.Delete with phase checking.
 func (c *CheckedSet) Delete(k uint64) bool {
 	c.enter(core.PhaseDelete)
@@ -53,6 +60,17 @@ func (c *CheckedSet) Count() int {
 	c.enter(core.PhaseRead)
 	defer c.guard.Exit(core.PhaseRead)
 	return c.s.Count()
+}
+
+// Clear is Set.Clear with quiescence checking: Clear is a phase
+// barrier by itself, so it panics if any operation — of any phase,
+// including another Clear — is in flight when it starts.
+func (c *CheckedSet) Clear() {
+	if err := c.guard.EnterExclusive(); err != nil {
+		panic(err)
+	}
+	defer c.guard.Exit(core.PhaseExclusive)
+	c.s.Clear()
 }
 
 // Unwrap returns the underlying Set.

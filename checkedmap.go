@@ -32,6 +32,13 @@ func (c *CheckedMap32) Insert(k, v uint32) bool {
 	return c.m.Insert(k, v)
 }
 
+// TryInsert is Map32.TryInsert with phase checking.
+func (c *CheckedMap32) TryInsert(k, v uint32) (bool, error) {
+	c.enter(core.PhaseInsert)
+	defer c.guard.Exit(core.PhaseInsert)
+	return c.m.TryInsert(k, v)
+}
+
 // Delete is Map32.Delete with phase checking.
 func (c *CheckedMap32) Delete(k uint32) bool {
 	c.enter(core.PhaseDelete)
@@ -86,6 +93,13 @@ func (c *CheckedStringMap) Insert(k string, v uint64) bool {
 	return c.m.Insert(k, v)
 }
 
+// TryInsert is StringMap.TryInsert with phase checking.
+func (c *CheckedStringMap) TryInsert(k string, v uint64) (bool, error) {
+	c.enter(core.PhaseInsert)
+	defer c.guard.Exit(core.PhaseInsert)
+	return c.m.TryInsert(k, v)
+}
+
 // Delete is StringMap.Delete with phase checking.
 func (c *CheckedStringMap) Delete(k string) bool {
 	c.enter(core.PhaseDelete)
@@ -138,6 +152,13 @@ func (c *CheckedGrowSet) Insert(k uint64) bool {
 	c.enter(core.PhaseInsert)
 	defer c.guard.Exit(core.PhaseInsert)
 	return c.s.Insert(k)
+}
+
+// TryInsert is GrowSet.TryInsert with phase checking.
+func (c *CheckedGrowSet) TryInsert(k uint64) (bool, error) {
+	c.enter(core.PhaseInsert)
+	defer c.guard.Exit(core.PhaseInsert)
+	return c.s.TryInsert(k)
 }
 
 // Delete is GrowSet.Delete with phase checking.

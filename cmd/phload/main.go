@@ -5,26 +5,45 @@
 // Usage:
 //
 //	phload [-size 2097152] [-n 200000] [-loads 0.1,0.2,...] [-reps 1]
+//
+// With -chaos it instead soaks the cross-schedule determinism oracle:
+// fresh seeds every round over the full distribution × worker × fault
+// profile grid until -soak elapses, exiting 1 with a minimized repro on
+// the first divergence. Build with -tags chaos to arm fault injection;
+// without the tag the soak still varies schedules via worker counts.
+//
+//	go run -tags chaos ./cmd/phload -chaos -soak 5m
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"phasehash/internal/bench"
+	"phasehash/internal/chaos"
+	"phasehash/internal/detres"
 )
 
 func main() {
 	var (
-		size  = flag.Int("size", 1<<21, "table size in cells (paper: 2^27)")
-		n     = flag.Int("n", 200_000, "operations timed per point")
-		loads = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,0.95", "comma-separated load factors")
-		reps  = flag.Int("reps", 1, "repetitions (minimum reported)")
+		size      = flag.Int("size", 1<<21, "table size in cells (paper: 2^27)")
+		n         = flag.Int("n", 200_000, "operations timed per point")
+		loads     = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,0.95", "comma-separated load factors")
+		reps      = flag.Int("reps", 1, "repetitions (minimum reported)")
+		chaosMode = flag.Bool("chaos", false, "run the determinism chaos soak instead of Figure 5")
+		soak      = flag.Duration("soak", 30*time.Second, "chaos soak duration")
+		chaosN    = flag.Int("chaosn", 1<<12, "elements per oracle workload in chaos mode")
 	)
 	flag.Parse()
+
+	if *chaosMode {
+		chaosSoak(*chaosN, *soak)
+		return
+	}
 
 	ops := []bench.Op{bench.OpInsert, bench.OpFindRandom, bench.OpDeleteInserted, bench.OpElements}
 	fmt.Printf("# Figure 5: ns per operation on linearHash-D, table size %d cells, %d ops per point\n", *size, *n)
@@ -55,4 +74,43 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// chaosSoak replays the oracle grid with fresh seeds each round until
+// the soak duration elapses. Any divergence is fatal: the minimized
+// repro (seed, distribution, worker count, fault profile, site trace)
+// is printed and the process exits 1 so CI marks the run red.
+func chaosSoak(n int, d time.Duration) {
+	fmt.Printf("# chaos soak: determinism oracle, n=%d per workload, %v; fault injection armed: %v\n",
+		n, d, chaos.Enabled)
+	if !chaos.Enabled {
+		fmt.Println("# (build with -tags chaos to arm fault injection; schedules still vary via worker counts)")
+	}
+	runners := []detres.Runner{
+		detres.WordRunner{Capacity: 4 * n},
+		detres.GrowRunner{Initial: 64},
+	}
+	deadline := time.Now().Add(d)
+	round := 0
+	for time.Now().Before(deadline) {
+		cfg := detres.DefaultOracleConfig(n)
+		// Fresh seeds every round so a long soak explores new workloads
+		// instead of re-verifying the same grid.
+		seeds := make([]uint64, len(cfg.Seeds))
+		for i := range seeds {
+			seeds[i] = uint64(round*len(cfg.Seeds)+i) + 1
+		}
+		cfg.Seeds = seeds
+		cells := len(cfg.Dists) * len(cfg.Seeds) * len(cfg.Workers) * len(cfg.Profiles)
+		for _, r := range runners {
+			if div := detres.RunOracle(r, cfg); div != nil {
+				fmt.Println("DETERMINISM DIVERGENCE")
+				fmt.Println(div.Error())
+				os.Exit(1)
+			}
+		}
+		round++
+		fmt.Printf("round %d ok: seeds [%d,%d], %d cells per runner\n", round, seeds[0], seeds[len(seeds)-1], cells)
+	}
+	fmt.Printf("# chaos soak passed: %d rounds, no divergence\n", round)
 }

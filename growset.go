@@ -17,8 +17,14 @@ func NewGrowSet(initial int) *GrowSet {
 	return &GrowSet{t: core.NewGrowTable[core.SetOps](initial)}
 }
 
-// Insert adds k (insert phase), growing as needed.
+// Insert adds k (insert phase), growing as needed. It panics on the
+// reserved key 0; use TryInsert to get an error instead.
 func (s *GrowSet) Insert(k uint64) bool { return s.t.Insert(k) }
+
+// TryInsert is Insert returning ErrReservedKey (matchable with
+// errors.Is) instead of panicking on key 0. A growing set never
+// reports ErrFull: saturation triggers a grow.
+func (s *GrowSet) TryInsert(k uint64) (bool, error) { return s.t.TryInsert(k) }
 
 // Contains reports membership (read phase).
 func (s *GrowSet) Contains(k uint64) bool { return s.t.Contains(k) }

@@ -75,36 +75,41 @@ func init() {
 	)
 	// Public containers.
 	addFacts(ph, "Set", map[string]methodFact{
-		"Insert":   {phase: PhaseInsert},
-		"Delete":   {phase: PhaseDelete},
-		"Contains": {phase: PhaseRead},
-		"Elements": {phase: PhaseRead, capture: true},
-		"Count":    {phase: PhaseRead, capture: true},
+		"Insert":    {phase: PhaseInsert},
+		"TryInsert": {phase: PhaseInsert},
+		"Delete":    {phase: PhaseDelete},
+		"Contains":  {phase: PhaseRead},
+		"Elements":  {phase: PhaseRead, capture: true},
+		"Count":     {phase: PhaseRead, capture: true},
 	})
 	addFacts(ph, "Map32", map[string]methodFact{
-		"Insert":  {phase: PhaseInsert},
-		"Delete":  {phase: PhaseDelete},
-		"Find":    {phase: PhaseRead},
-		"Entries": {phase: PhaseRead, capture: true},
-		"Count":   {phase: PhaseRead, capture: true},
+		"Insert":    {phase: PhaseInsert},
+		"TryInsert": {phase: PhaseInsert},
+		"Delete":    {phase: PhaseDelete},
+		"Find":      {phase: PhaseRead},
+		"Entries":   {phase: PhaseRead, capture: true},
+		"Count":     {phase: PhaseRead, capture: true},
 	})
 	addFacts(ph, "StringMap", map[string]methodFact{
-		"Insert":  {phase: PhaseInsert},
-		"Delete":  {phase: PhaseDelete},
-		"Find":    {phase: PhaseRead},
-		"Entries": {phase: PhaseRead, capture: true},
-		"Count":   {phase: PhaseRead, capture: true},
+		"Insert":    {phase: PhaseInsert},
+		"TryInsert": {phase: PhaseInsert},
+		"Delete":    {phase: PhaseDelete},
+		"Find":      {phase: PhaseRead},
+		"Entries":   {phase: PhaseRead, capture: true},
+		"Count":     {phase: PhaseRead, capture: true},
 	})
 	addFacts(ph, "GrowSet", map[string]methodFact{
-		"Insert":   {phase: PhaseInsert},
-		"Delete":   {phase: PhaseDelete},
-		"Contains": {phase: PhaseRead},
-		"Elements": {phase: PhaseRead, capture: true},
-		"Count":    {phase: PhaseRead, capture: true},
+		"Insert":    {phase: PhaseInsert},
+		"TryInsert": {phase: PhaseInsert},
+		"Delete":    {phase: PhaseDelete},
+		"Contains":  {phase: PhaseRead},
+		"Elements":  {phase: PhaseRead, capture: true},
+		"Count":     {phase: PhaseRead, capture: true},
 	})
 	// internal/core tables (generic; looked up by their generic name).
 	addFacts(core, "WordTable", map[string]methodFact{
 		"Insert":        {phase: PhaseInsert},
+		"TryInsert":     {phase: PhaseInsert},
 		"InsertLimited": {phase: PhaseInsert},
 		"Delete":        {phase: PhaseDelete},
 		"Find":          {phase: PhaseRead},
@@ -116,19 +121,21 @@ func init() {
 		"ForEach":       {phase: PhaseRead},
 	})
 	addFacts(core, "PtrTable", map[string]methodFact{
-		"Insert":   {phase: PhaseInsert},
-		"Delete":   {phase: PhaseDelete},
-		"Find":     {phase: PhaseRead},
-		"Elements": {phase: PhaseRead, capture: true},
-		"Count":    {phase: PhaseRead, capture: true},
+		"Insert":    {phase: PhaseInsert},
+		"TryInsert": {phase: PhaseInsert},
+		"Delete":    {phase: PhaseDelete},
+		"Find":      {phase: PhaseRead},
+		"Elements":  {phase: PhaseRead, capture: true},
+		"Count":     {phase: PhaseRead, capture: true},
 	})
 	addFacts(core, "GrowTable", map[string]methodFact{
-		"Insert":   {phase: PhaseInsert},
-		"Delete":   {phase: PhaseDelete},
-		"Find":     {phase: PhaseRead},
-		"Contains": {phase: PhaseRead},
-		"Elements": {phase: PhaseRead, capture: true},
-		"Count":    {phase: PhaseRead, capture: true},
+		"Insert":    {phase: PhaseInsert},
+		"TryInsert": {phase: PhaseInsert},
+		"Delete":    {phase: PhaseDelete},
+		"Find":      {phase: PhaseRead},
+		"Contains":  {phase: PhaseRead},
+		"Elements":  {phase: PhaseRead, capture: true},
+		"Count":     {phase: PhaseRead, capture: true},
 	})
 }
 

@@ -35,6 +35,30 @@ func growSetMixed() {
 	_ = s.Contains(2) // want `wrap the table with phasehash\.NewCheckedGrowSet`
 }
 
+// TryInsert is the graceful-degradation twin of Insert and classifies
+// into the insert phase exactly like it.
+func setTryInsertMixed() {
+	s := phasehash.NewSet(64)
+	go s.TryInsert(1)
+	_ = s.Elements()  // want `Elements result on s captured while insert-phase operations`
+	_ = s.Contains(2) // want `wrap the table with phasehash\.Checked`
+}
+
+// A barrier separates the phases: TryInsert then read is clean.
+func setTryInsertBarrierOK() {
+	s := phasehash.NewSet(64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.TryInsert(1); err != nil {
+			return
+		}
+	}()
+	wg.Wait()
+	_ = s.Elements()
+}
+
 func mapBarrierOK() {
 	m := phasehash.NewMap32(64, phasehash.Sum)
 	var wg sync.WaitGroup

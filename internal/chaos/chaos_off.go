@@ -1,0 +1,33 @@
+//go:build !chaos
+
+package chaos
+
+// Enabled reports whether this binary was built with the chaos tag.
+// It is a constant so that call sites guarded by `if chaos.Enabled`
+// are removed by dead-code elimination: the production build pays
+// nothing for the hooks.
+const Enabled = false
+
+// Configure is a no-op without the chaos tag.
+func Configure(Profile, uint64) {}
+
+// Disable is a no-op without the chaos tag.
+func Disable() {}
+
+// Active reports whether injection is currently live (never, here).
+func Active() bool { return false }
+
+// Yield is a no-op without the chaos tag.
+func Yield(Site) {}
+
+// FailCAS never forces a retry without the chaos tag.
+func FailCAS(Site) bool { return false }
+
+// SkewWorker is a no-op without the chaos tag.
+func SkewWorker(Site) {}
+
+// ResetTrace is a no-op without the chaos tag.
+func ResetTrace() {}
+
+// TraceSummary reports the per-site fire counts (always empty, here).
+func TraceSummary() string { return "" }

@@ -1,0 +1,146 @@
+//go:build chaos
+
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+)
+
+// Enabled reports whether this binary was built with the chaos tag.
+const Enabled = true
+
+// state is the active configuration; nil means injection is off.
+var state atomic.Pointer[config]
+
+type config struct {
+	prof Profile
+	seed uint64
+}
+
+// calls is a global draw counter: each hook call consumes one draw, so
+// the decision stream depends on the seed and on the global arrival
+// order of hook calls. That order varies run to run — which is the
+// point: the injected perturbations differ across runs and thereby
+// widen the space of schedules the oracle observes, while the oracle
+// asserts the *quiescent outcome* never varies.
+var calls atomic.Uint64
+
+// fired counts, per site, how many injections actually triggered; the
+// oracle prints this as the site trace of a failing run.
+var fired [numSites]atomic.Uint64
+
+// Configure arms injection with the given profile and seed and resets
+// the trace. Safe to call concurrently with hook calls.
+func Configure(p Profile, seed uint64) {
+	ResetTrace()
+	state.Store(&config{prof: p, seed: seed})
+}
+
+// Disable turns all injection off.
+func Disable() { state.Store(nil) }
+
+// Active reports whether injection is currently live.
+func Active() bool { return state.Load() != nil }
+
+// mix64 is splitmix64's finalizer: a cheap, well-distributed hash of
+// the (seed, draw, site) triple.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// draw returns a per-mille value in [0, 1000) for the next decision at
+// site s, or ok=false when injection is off.
+func draw(s Site) (*config, uint32, bool) {
+	c := state.Load()
+	if c == nil {
+		return nil, 0, false
+	}
+	n := calls.Add(1)
+	r := mix64(c.seed ^ n*0x9e3779b97f4a7c15 ^ uint64(s)<<56)
+	return c, uint32(r % 1000), true
+}
+
+// Yield perturbs the schedule at site s: with the profile's YieldPm it
+// yields the processor, and with DelayPm it burns a short spin loop
+// (simulating preemption mid-probe).
+func Yield(s Site) {
+	c, r, ok := draw(s)
+	if !ok {
+		return
+	}
+	if r < c.prof.YieldPm {
+		fired[s].Add(1)
+		runtime.Gosched()
+		return
+	}
+	if c.prof.DelayPm > 0 && r < c.prof.YieldPm+c.prof.DelayPm {
+		fired[s].Add(1)
+		spin(c.prof.DelaySpin)
+	}
+}
+
+// FailCAS reports whether the caller should pretend its CAS lost and
+// retry. Only wired to sites where a lost CAS is a pure retry.
+func FailCAS(s Site) bool {
+	c, r, ok := draw(s)
+	if !ok || r >= c.prof.FailPm {
+		return false
+	}
+	fired[s].Add(1)
+	return true
+}
+
+// SkewWorker delays a starting parallel worker by a seeded spin of up
+// to the profile's SkewSpinMax iterations, so workers enter their loops
+// staggered instead of in lockstep.
+func SkewWorker(s Site) {
+	c := state.Load()
+	if c == nil || c.prof.SkewSpinMax == 0 {
+		return
+	}
+	n := calls.Add(1)
+	fired[s].Add(1)
+	spin(uint32(mix64(c.seed^n*0x9e3779b97f4a7c15) % uint64(c.prof.SkewSpinMax)))
+}
+
+// spinSink defeats dead-code elimination of the spin loop.
+var spinSink atomic.Uint64
+
+func spin(n uint32) {
+	var x uint64 = 1
+	for i := uint32(0); i < n; i++ {
+		x = mix64(x)
+	}
+	spinSink.Add(x)
+}
+
+// ResetTrace zeroes the per-site fire counts and the draw counter.
+func ResetTrace() {
+	calls.Store(0)
+	for i := range fired {
+		fired[i].Store(0)
+	}
+}
+
+// TraceSummary reports the sites that fired since the last ResetTrace,
+// as "site=count" pairs; empty when nothing fired.
+func TraceSummary() string {
+	var b strings.Builder
+	for i := range fired {
+		if n := fired[i].Load(); n > 0 {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s=%d", Site(i), n)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfileByName(t *testing.T) {
+	for _, p := range Profiles {
+		got, ok := ProfileByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Fatalf("ProfileByName(%q) = %+v, %v", p.Name, got, ok)
+		}
+	}
+	if _, ok := ProfileByName("no-such-profile"); ok {
+		t.Fatal("ProfileByName accepted an unknown name")
+	}
+}
+
+func TestSiteStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Site(0); int(s) < NumSites; s++ {
+		name := s.String()
+		if name == "unknown-site" || seen[name] {
+			t.Fatalf("site %d has bad or duplicate name %q", s, name)
+		}
+		seen[name] = true
+	}
+}
+
+// TestHooksInactiveByDefault holds in both build variants: before
+// Configure, no hook may fire or force a retry.
+func TestHooksInactiveByDefault(t *testing.T) {
+	Disable()
+	ResetTrace()
+	if Active() {
+		t.Fatal("Active() before Configure")
+	}
+	for i := 0; i < 1000; i++ {
+		Yield(SiteWordInsertProbe)
+		SkewWorker(SiteParallelWorker)
+		if FailCAS(SiteWordInsertClaim) {
+			t.Fatal("FailCAS fired while disabled")
+		}
+	}
+	if s := TraceSummary(); s != "" {
+		t.Fatalf("trace not empty while disabled: %q", s)
+	}
+}
+
+// TestInjectionFires only observes injections in the chaos build; in
+// the default build it asserts the hooks stay silent even configured.
+func TestInjectionFires(t *testing.T) {
+	Configure(Profile{Name: "test", YieldPm: 500, FailPm: 500, SkewSpinMax: 16}, 42)
+	defer Disable()
+	failed := 0
+	for i := 0; i < 2000; i++ {
+		Yield(SiteWordInsertProbe)
+		SkewWorker(SiteParallelWorker)
+		if FailCAS(SiteWordInsertDisplace) {
+			failed++
+		}
+	}
+	sum := TraceSummary()
+	if !Enabled {
+		if failed != 0 || sum != "" {
+			t.Fatalf("no-op build injected: failed=%d trace=%q", failed, sum)
+		}
+		return
+	}
+	if failed == 0 {
+		t.Fatal("chaos build: FailCAS never fired at 50% rate")
+	}
+	for _, want := range []string{"word-insert-probe=", "word-insert-displace=", "parallel-worker="} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("trace %q missing %q", sum, want)
+		}
+	}
+	ResetTrace()
+	if s := TraceSummary(); s != "" {
+		t.Fatalf("trace not reset: %q", s)
+	}
+}

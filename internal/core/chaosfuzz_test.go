@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"phasehash/internal/chaos"
+	"phasehash/internal/parallel"
+)
+
+// FuzzGrowTableChaos drives an insert phase with growth in flight while
+// the chaos layer forces CAS retries and yields in the probe loops, then
+// checks the two properties the paper's determinism argument rests on:
+// the ordering invariant holds at quiescence, and the quiescent layout —
+// hence Elements() — matches a sequential fault-free build of the same
+// key set.
+//
+// Under the default build the chaos hooks are compiled away and this is
+// a plain concurrent-growth fuzz target; run with `-tags chaos` (see
+// `make chaos`) for the fault-injected schedules:
+//
+//	go test -tags chaos -fuzz FuzzGrowTableChaos ./internal/core
+func FuzzGrowTableChaos(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint64(1), uint8(4))
+	f.Add([]byte{9, 9, 9, 9, 200, 100, 50, 25, 12, 6, 3}, uint64(42), uint8(2))
+	f.Add([]byte{255, 254, 253, 252, 251, 250}, uint64(7), uint8(8))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64, workers uint8) {
+		prev := parallel.SetNumWorkers(int(workers%8) + 1)
+		defer parallel.SetNumWorkers(prev)
+		// Pressure the insert CAS sites hard; no-op without -tags chaos.
+		chaos.Configure(chaos.Profile{
+			Name:    "fuzz-casstorm",
+			FailPm:  500,
+			YieldPm: 200,
+		}, seed)
+		defer chaos.Disable()
+
+		keys := make([]uint64, len(data))
+		for i, b := range data {
+			// Spread keys so modest inputs still trigger growth; never 0.
+			keys[i] = uint64(b)*251 + uint64(i%7) + 1
+		}
+		g := NewGrowTable[SetOps](minGrowSize)
+		parallel.ForGrain(len(keys), 1, func(i int) { g.Insert(keys[i]) })
+
+		model := map[uint64]bool{}
+		for _, k := range keys {
+			model[k] = true
+		}
+		if n := g.Count(); n != len(model) {
+			t.Fatalf("Count %d, model %d (trace %s)", n, len(model), chaos.TraceSummary())
+		}
+		if err := g.CheckInvariant(); err != nil {
+			t.Fatalf("%v (trace %s)", err, chaos.TraceSummary())
+		}
+
+		// Deterministic layout: a sequential fault-free replay of the same
+		// insert stream lands every key in the same cell.
+		chaos.Disable()
+		ref := NewGrowTable[SetOps](minGrowSize)
+		for _, k := range keys {
+			ref.Insert(k)
+		}
+		a, b := g.Snapshot(), ref.Snapshot()
+		if len(a) != len(b) {
+			t.Fatalf("final size %d differs from sequential build %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("layout differs from sequential build at cell %d: %#x vs %#x", i, a[i], b[i])
+			}
+		}
+		got, want := g.Elements(), ref.Elements()
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Elements[%d] = %#x, sequential build %#x", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,22 @@
+package core
+
+import "errors"
+
+// Sentinel errors returned by the tables' TryInsert methods (and
+// re-exported by package phasehash). Match with errors.Is: concrete
+// returns wrap these with situation detail (size, count, load factor).
+var (
+	// ErrFull reports that a fixed-capacity table cannot accept the
+	// element: the probe sequence swept the whole backing array. The
+	// paper's algorithms require the table never to become completely
+	// full; callers should size tables for a load factor below ~0.9.
+	ErrFull = errors.New("phasehash: table full")
+
+	// ErrNilValue reports an attempt to insert a nil record into a
+	// pointer table (nil encodes the empty cell).
+	ErrNilValue = errors.New("phasehash: nil element")
+
+	// ErrReservedKey reports an attempt to insert the reserved empty
+	// key (0 for word tables; ⊥ in the paper).
+	ErrReservedKey = errors.New("phasehash: reserved key")
+)

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"phasehash/internal/chaos"
 )
 
 // GrowTable is the paper's Section 4 resizing extension (listed there as
@@ -103,6 +106,20 @@ func probeLimit(size int) int {
 // not schedule-independent during migration.) The probe-limit abort
 // inside InsertLimited is a safety net only.
 func (g *GrowTable[O]) Insert(v uint64) bool {
+	added, err := g.TryInsert(v)
+	if err != nil {
+		panic("core: GrowTable: " + err.Error())
+	}
+	return added
+}
+
+// TryInsert is Insert returning ErrReservedKey (satisfying errors.Is)
+// instead of panicking on the reserved empty element. A growing table
+// never reports ErrFull: saturation triggers a grow instead.
+func (g *GrowTable[O]) TryInsert(v uint64) (bool, error) {
+	if v == Empty {
+		return false, fmt.Errorf("%w: %#x is the reserved empty element", ErrReservedKey, Empty)
+	}
 	for {
 		st := g.state.Load()
 		st.inflight.Add(1)
@@ -117,11 +134,25 @@ func (g *GrowTable[O]) Insert(v uint64) bool {
 		added, ok := st.table.InsertLimited(v, probeLimit(st.table.Size()))
 		st.inflight.Add(-1)
 		if ok {
-			if int(g.count.Add(1)) >= st.table.Size()/2 {
-				g.grow(st)
+			// Check the threshold against the *current* state, not the
+			// state this insert landed in, and loop until the size catches
+			// up with the count. A straggler suspended between its insert
+			// and its count.Add could otherwise spend the threshold-crossing
+			// increment on a stale state's no-op grow, leaving the final
+			// size — and the quiescent layout — schedule-dependent.
+			c := int(g.count.Add(1))
+			for {
+				cur := g.state.Load()
+				if c < cur.table.Size()/2 {
+					break
+				}
+				g.grow(cur)
 			}
-			return added
+			return added, nil
 		}
+		// Probe-limit overflow: the table is congested below the count
+		// threshold (clustered hashes). Grow early rather than spin on
+		// ever-longer probe sequences.
 		g.grow(st)
 	}
 }
@@ -155,10 +186,21 @@ func (g *GrowTable[O]) migrate(st *growState[O], quota int) {
 		if e == Empty {
 			continue
 		}
-		// Delete from old (a delete-phase op on the old table, which no
-		// longer receives inserts), then insert into the new table.
+		if chaos.Enabled {
+			chaos.Yield(chaos.SiteGrowMigrate)
+		}
+		// Copy into the new table first, then delete from old. Insert
+		// before delete keeps the key continuously findable (Find checks
+		// the new table first) and is idempotent against a racing
+		// migrator: duplicate inserts merge, and only the Delete winner
+		// counts the move. The insert is probe-limited so a congested
+		// new table triggers an early grow instead of a long spin (or,
+		// at worst, the fixed table's full panic).
+		if _, ok := st.table.InsertLimited(e, probeLimit(st.table.Size())); !ok {
+			g.grow(st)
+			return
+		}
 		if old.Delete(e) {
-			st.table.Insert(e)
 			moved++
 		}
 	}
@@ -216,6 +258,9 @@ func (g *GrowTable[O]) drainLocked(st *growState[O]) {
 			e := old.load(i)
 			if e == Empty {
 				continue
+			}
+			if chaos.Enabled {
+				chaos.Yield(chaos.SiteGrowDrain)
 			}
 			if old.Delete(e) {
 				st.table.Insert(e)
@@ -290,6 +335,14 @@ func (g *GrowTable[O]) Count() int {
 
 // Size returns the current main table's cell count.
 func (g *GrowTable[O]) Size() int { return g.state.Load().table.Size() }
+
+// Snapshot finishes any migration and copies the raw cell array of the
+// main table (quiescent use only). Like WordTable.Snapshot it exists so
+// tests can compare quiescent layouts byte-for-byte across schedules.
+func (g *GrowTable[O]) Snapshot() []uint64 {
+	g.FinishMigration()
+	return g.state.Load().table.Snapshot()
+}
 
 // CheckInvariant verifies the ordering invariant of both live tables.
 func (g *GrowTable[O]) CheckInvariant() error {

@@ -13,10 +13,11 @@ type Phase int32
 
 // Phases of a phase-concurrent hash table.
 const (
-	PhaseIdle   Phase = iota // no operations in flight
-	PhaseInsert              // concurrent Inserts
-	PhaseDelete              // concurrent Deletes
-	PhaseRead                // concurrent Finds and Elements
+	PhaseIdle      Phase = iota // no operations in flight
+	PhaseInsert                 // concurrent Inserts
+	PhaseDelete                 // concurrent Deletes
+	PhaseRead                   // concurrent Finds and Elements
+	PhaseExclusive              // quiescent-only maintenance (Clear); never concurrent
 )
 
 // String implements fmt.Stringer.
@@ -30,6 +31,8 @@ func (p Phase) String() string {
 		return "delete"
 	case PhaseRead:
 		return "read"
+	case PhaseExclusive:
+		return "exclusive"
 	default:
 		return fmt.Sprintf("Phase(%d)", int32(p))
 	}
@@ -74,6 +77,25 @@ func (g *PhaseGuard) Enter(p Phase) error {
 				p.String(), cur.String(), n)
 		}
 		if g.state.CompareAndSwap(s, packState(p, n+1)) {
+			return nil
+		}
+	}
+}
+
+// EnterExclusive claims the guard for a quiescent-only operation such
+// as Clear, which is a phase barrier by itself: it may not overlap any
+// other operation, of any phase, including another exclusive one. It
+// returns an error if anything is in flight. Release with
+// Exit(PhaseExclusive).
+func (g *PhaseGuard) EnterExclusive() error {
+	for {
+		s := g.state.Load()
+		cur, n := unpackState(s)
+		if n != 0 {
+			return fmt.Errorf("core: phase violation: quiescent-only operation started during %s phase (%d in flight)",
+				cur.String(), n)
+		}
+		if g.state.CompareAndSwap(s, packState(PhaseExclusive, 1)) {
 			return nil
 		}
 	}

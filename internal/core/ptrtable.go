@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"phasehash/internal/chaos"
 	"phasehash/internal/parallel"
 )
 
@@ -70,20 +71,55 @@ func (t *PtrTable[T, O]) home(e *T) int {
 // Insert adds element v (insert phase only); on an equal key the two
 // elements are resolved with Ops.Merge. Reports whether the element count
 // grew. v must be non-nil and must not be mutated afterwards.
+//
+// Insert panics on nil and on a full table; use TryInsert where
+// saturation must degrade gracefully instead of crash.
 func (t *PtrTable[T, O]) Insert(v *T) bool {
 	if v == nil {
-		panic("core: cannot insert nil")
+		panic("core: PtrTable: cannot insert nil")
 	}
+	added, full := t.insertLoop(v)
+	if full {
+		panic("core: PtrTable: " + t.fullErr().Error())
+	}
+	return added
+}
+
+// TryInsert is Insert returning errors instead of panicking: ErrNilValue
+// for a nil record and ErrFull (with size, count and load factor) when
+// the probe sequence sweeps the whole backing array. Both satisfy
+// errors.Is against the package sentinels.
+func (t *PtrTable[T, O]) TryInsert(v *T) (bool, error) {
+	if v == nil {
+		return false, fmt.Errorf("%w: nil encodes the empty cell", ErrNilValue)
+	}
+	added, full := t.insertLoop(v)
+	if full {
+		return false, t.fullErr()
+	}
+	return added, nil
+}
+
+// insertLoop is the probe loop shared by Insert and TryInsert, kept free
+// of error construction so both stay thin inlinable wrappers. full
+// reports a whole-array sweep (saturation).
+func (t *PtrTable[T, O]) insertLoop(v *T) (added, full bool) {
 	i := t.home(v)
 	limit := i + len(t.cells)
 	for {
+		if chaos.Enabled {
+			chaos.Yield(chaos.SitePtrInsertProbe)
+		}
 		if i >= limit {
-			panic(fmt.Sprintf("core: PtrTable full (size %d)", len(t.cells)))
+			return false, true
 		}
 		c := t.load(i)
 		if c == nil {
+			if chaos.Enabled && chaos.FailCAS(chaos.SitePtrInsertClaim) {
+				continue // pretend the CAS lost; re-read the cell
+			}
 			if t.cas(i, nil, v) {
-				return true
+				return true, false
 			}
 			continue
 		}
@@ -91,18 +127,38 @@ func (t *PtrTable[T, O]) Insert(v *T) bool {
 		switch {
 		case cmp == 0:
 			merged := t.ops.Merge(c, v)
+			if chaos.Enabled && merged != c && chaos.FailCAS(chaos.SitePtrInsertMerge) {
+				continue
+			}
 			if merged == c || t.cas(i, c, merged) {
-				return false
+				return false, false
 			}
 		case cmp > 0:
 			i++
 		default:
+			if chaos.Enabled && chaos.FailCAS(chaos.SitePtrInsertDisplace) {
+				continue
+			}
 			if t.cas(i, c, v) {
 				v = c
 				i++
 			}
 		}
 	}
+}
+
+// fullErr builds the ErrFull report for a saturated table; the count is
+// an atomic snapshot taken mid-phase.
+func (t *PtrTable[T, O]) fullErr() error {
+	n := 0
+	for i := range t.cells {
+		if t.cells[i].Load() != nil {
+			n++
+		}
+	}
+	m := len(t.cells)
+	return fmt.Errorf("%w: size %d, count %d, load factor %.3f",
+		ErrFull, m, n, float64(n)/float64(m))
 }
 
 // Find returns the stored element with v's key (find/elements phase
@@ -138,6 +194,9 @@ func (t *PtrTable[T, O]) Delete(v *T) bool {
 	}
 	deleted := false
 	for k >= i {
+		if chaos.Enabled {
+			chaos.Yield(chaos.SitePtrDeleteProbe)
+		}
 		c := t.load(k)
 		if c == nil || t.ops.Cmp(v, c) != 0 {
 			k--
@@ -163,6 +222,9 @@ func (t *PtrTable[T, O]) findReplacement(i int) (int, *T) {
 	j := i
 	var w *T
 	for {
+		if chaos.Enabled {
+			chaos.Yield(chaos.SitePtrDeleteProbe)
+		}
 		j++
 		w = t.load(j)
 		if w == nil || t.lift(t.ops.Hash(w)&uint64(t.mask), j) <= i {

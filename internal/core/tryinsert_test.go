@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestWordTryInsertFull fills a table completely and checks saturation
+// degrades to ErrFull instead of a panic, with an actionable message.
+func TestWordTryInsertFull(t *testing.T) {
+	tab := NewWordTable[SetOps](8) // 8 cells; cell count == capacity
+	for k := uint64(1); k <= 8; k++ {
+		added, err := tab.TryInsert(k)
+		if err != nil || !added {
+			t.Fatalf("TryInsert(%d) = %v, %v", k, added, err)
+		}
+	}
+	added, err := tab.TryInsert(100)
+	if added || !errors.Is(err, ErrFull) {
+		t.Fatalf("TryInsert on full table = %v, %v; want false, ErrFull", added, err)
+	}
+	for _, want := range []string{"size 8", "count 8", "load factor 1.000"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("ErrFull %q missing %q", err, want)
+		}
+	}
+	// A duplicate of a present key still merges fine on a full table.
+	if added, err := tab.TryInsert(3); added || err != nil {
+		t.Fatalf("duplicate TryInsert on full table = %v, %v", added, err)
+	}
+	if n := tab.Count(); n != 8 {
+		t.Fatalf("Count = %d after failed insert", n)
+	}
+}
+
+func TestWordTryInsertReservedKey(t *testing.T) {
+	tab := NewWordTable[SetOps](8)
+	if _, err := tab.TryInsert(Empty); !errors.Is(err, ErrReservedKey) {
+		t.Fatalf("TryInsert(Empty) err = %v, want ErrReservedKey", err)
+	}
+}
+
+// TestWordInsertFullPanicEnriched checks the panicking wrapper keeps
+// panicking and that the message now carries count and load factor.
+func TestWordInsertFullPanicEnriched(t *testing.T) {
+	tab := NewWordTable[SetOps](4)
+	for k := uint64(1); k <= 4; k++ {
+		tab.Insert(k)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Insert on a full table did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, want := range []string{"WordTable", "table full", "count 4", "load factor 1.000"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	tab.Insert(99)
+}
+
+func TestPtrTryInsertSentinels(t *testing.T) {
+	tab := NewPtrTable[rec, recOps](4)
+	if _, err := tab.TryInsert(nil); !errors.Is(err, ErrNilValue) {
+		t.Fatalf("TryInsert(nil) err = %v, want ErrNilValue", err)
+	}
+	for k := uint64(1); k <= 4; k++ {
+		if added, err := tab.TryInsert(&rec{key: k}); err != nil || !added {
+			t.Fatalf("TryInsert(%d) = %v, %v", k, added, err)
+		}
+	}
+	added, err := tab.TryInsert(&rec{key: 50})
+	if added || !errors.Is(err, ErrFull) {
+		t.Fatalf("TryInsert on full PtrTable = %v, %v; want false, ErrFull", added, err)
+	}
+	if !strings.Contains(err.Error(), "load factor 1.000") {
+		t.Fatalf("PtrTable ErrFull %q missing load factor", err)
+	}
+}
+
+func TestGrowTryInsertNeverFull(t *testing.T) {
+	g := NewGrowTable[SetOps](minGrowSize)
+	if _, err := g.TryInsert(Empty); !errors.Is(err, ErrReservedKey) {
+		t.Fatalf("TryInsert(Empty) err = %v, want ErrReservedKey", err)
+	}
+	// Push far past the initial capacity: growth absorbs it, no ErrFull.
+	for k := uint64(1); k <= 10*minGrowSize; k++ {
+		if _, err := g.TryInsert(k); err != nil {
+			t.Fatalf("TryInsert(%d) err = %v", k, err)
+		}
+	}
+	if n := g.Count(); n != 10*minGrowSize {
+		t.Fatalf("Count = %d, want %d", n, 10*minGrowSize)
+	}
+}
+
+// TestPhaseGuardExclusive covers the quiescent-only mode used by the
+// checked wrappers' Clear.
+func TestPhaseGuardExclusive(t *testing.T) {
+	var g PhaseGuard
+	// Exclusive entry fails while any phase is in flight.
+	if err := g.Enter(PhaseInsert); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.EnterExclusive(); err == nil {
+		t.Fatal("EnterExclusive succeeded during an insert phase")
+	} else if !strings.Contains(err.Error(), "quiescent-only") {
+		t.Fatalf("error %q does not say quiescent-only", err)
+	}
+	g.Exit(PhaseInsert)
+	// Idle: exclusive entry succeeds and blocks everything else.
+	if err := g.EnterExclusive(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Enter(PhaseRead); err == nil {
+		t.Fatal("Enter succeeded during an exclusive operation")
+	}
+	if err := g.EnterExclusive(); err == nil {
+		t.Fatal("second EnterExclusive succeeded concurrently")
+	}
+	g.Exit(PhaseExclusive)
+	if err := g.Enter(PhaseDelete); err != nil {
+		t.Fatalf("guard did not return to idle: %v", err)
+	}
+	g.Exit(PhaseDelete)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"phasehash/internal/chaos"
 	"phasehash/internal/parallel"
 )
 
@@ -70,23 +71,58 @@ func (t *WordTable[O]) home(e uint64) int {
 // element count grew by one; the *count* of true results over a phase is
 // deterministic, though which duplicate insert reports true is not.
 //
+// Insert panics on the reserved empty element and on a full table; use
+// TryInsert where saturation must degrade gracefully instead of crash.
+func (t *WordTable[O]) Insert(v uint64) bool {
+	if v == Empty {
+		panic("core: WordTable: cannot insert the reserved empty element")
+	}
+	added, full := t.insertLoop(v)
+	if full {
+		panic("core: WordTable: " + t.fullErr().Error())
+	}
+	return added
+}
+
+// TryInsert is Insert returning errors instead of panicking: ErrReservedKey
+// for the reserved empty element and ErrFull (enriched with the table's
+// size, count and load factor) when the probe sequence sweeps the whole
+// backing array. Both satisfy errors.Is against the package sentinels.
+func (t *WordTable[O]) TryInsert(v uint64) (bool, error) {
+	if v == Empty {
+		return false, fmt.Errorf("%w: %#x is the reserved empty element", ErrReservedKey, Empty)
+	}
+	added, full := t.insertLoop(v)
+	if full {
+		return false, t.fullErr()
+	}
+	return added, nil
+}
+
+// insertLoop is the probe loop shared by Insert and TryInsert, kept free
+// of error construction so both stay thin inlinable wrappers. full
+// reports a whole-array sweep (saturation).
+//
 // This is Figure 1's INSERT: walk the probe sequence; past higher-priority
 // elements, step forward; on a lower-priority element, CAS ourselves in
 // and carry the displaced element forward; on an equal key, merge.
-func (t *WordTable[O]) Insert(v uint64) bool {
-	if v == Empty {
-		panic("core: cannot insert the reserved empty element")
-	}
+func (t *WordTable[O]) insertLoop(v uint64) (added, full bool) {
 	i := t.home(v)
 	limit := i + len(t.cells)
 	for {
+		if chaos.Enabled {
+			chaos.Yield(chaos.SiteWordInsertProbe)
+		}
 		if i >= limit {
-			panic(fmt.Sprintf("core: WordTable full (size %d)", len(t.cells)))
+			return false, true
 		}
 		c := t.load(i)
 		if c == Empty {
+			if chaos.Enabled && chaos.FailCAS(chaos.SiteWordInsertClaim) {
+				continue // pretend the CAS lost; re-read the cell
+			}
 			if t.cas(i, Empty, v) {
-				return true
+				return true, false
 			}
 			continue // re-read the cell
 		}
@@ -97,12 +133,18 @@ func (t *WordTable[O]) Insert(v uint64) bool {
 			// concurrently raise this cell's priority, so on CAS failure
 			// fall through to re-read and re-compare.
 			merged := t.ops.Merge(c, v)
+			if chaos.Enabled && merged != c && chaos.FailCAS(chaos.SiteWordInsertMerge) {
+				continue
+			}
 			if merged == c || t.cas(i, c, merged) {
-				return false
+				return false, false
 			}
 		case cmp > 0: // cell has higher priority; keep probing
 			i++
 		default: // v has higher priority; swap in and carry c forward
+			if chaos.Enabled && chaos.FailCAS(chaos.SiteWordInsertDisplace) {
+				continue
+			}
 			if t.cas(i, c, v) {
 				v = c
 				i++
@@ -112,6 +154,16 @@ func (t *WordTable[O]) Insert(v uint64) bool {
 			}
 		}
 	}
+}
+
+// fullErr builds the ErrFull report for a saturated table. The count is
+// an atomic snapshot (the insert phase is still running), so it is
+// approximate but actionable in a field report.
+func (t *WordTable[O]) fullErr() error {
+	n := t.CountAtomic()
+	m := len(t.cells)
+	return fmt.Errorf("%w: size %d, count %d, load factor %.3f",
+		ErrFull, m, n, float64(n)/float64(m))
 }
 
 // InsertLimited is Insert with an overfull detector for the resizing
@@ -129,14 +181,20 @@ func (t *WordTable[O]) InsertLimited(v uint64, limit int) (added, ok bool) {
 	committed := false
 	hardLimit := start + len(t.cells)
 	for {
+		if chaos.Enabled {
+			chaos.Yield(chaos.SiteWordInsertProbe)
+		}
 		if !committed && i-start > limit {
 			return false, false
 		}
 		if i >= hardLimit {
-			panic("core: WordTable full")
+			panic("core: WordTable: " + t.fullErr().Error())
 		}
 		c := t.load(i)
 		if c == Empty {
+			if chaos.Enabled && chaos.FailCAS(chaos.SiteWordInsertClaim) {
+				continue
+			}
 			if t.cas(i, Empty, v) {
 				return true, true
 			}
@@ -146,12 +204,18 @@ func (t *WordTable[O]) InsertLimited(v uint64, limit int) (added, ok bool) {
 		switch {
 		case cmp == 0:
 			merged := t.ops.Merge(c, v)
+			if chaos.Enabled && merged != c && chaos.FailCAS(chaos.SiteWordInsertMerge) {
+				continue
+			}
 			if merged == c || t.cas(i, c, merged) {
 				return false, true
 			}
 		case cmp > 0:
 			i++
 		default:
+			if chaos.Enabled && chaos.FailCAS(chaos.SiteWordInsertDisplace) {
+				continue
+			}
 			if t.cas(i, c, v) {
 				committed = true
 				v = c
@@ -210,6 +274,11 @@ func (t *WordTable[O]) Delete(v uint64) bool {
 	}
 	deleted := false
 	for k >= i {
+		if chaos.Enabled {
+			// Yield only: a forced CAS failure here would be read as "a
+			// concurrent delete removed the victim", changing semantics.
+			chaos.Yield(chaos.SiteWordDeleteProbe)
+		}
 		c := t.load(k)
 		if c == Empty || t.ops.Cmp(v, c) != 0 {
 			k--
@@ -248,6 +317,9 @@ func (t *WordTable[O]) findReplacement(i int) (int, uint64) {
 	j := i
 	var w uint64
 	for {
+		if chaos.Enabled {
+			chaos.Yield(chaos.SiteWordDeleteProbe)
+		}
 		j++
 		w = t.load(j)
 		if w == Empty || t.lift(t.ops.Hash(w)&uint64(t.mask), j) <= i {

@@ -15,6 +15,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"phasehash/internal/chaos"
 )
 
 // maxProcs is the degree of parallelism used by all loops in this package.
@@ -91,6 +93,9 @@ func ForBlocked(n, grain int, body func(lo, hi int)) {
 		for w := 0; w < p; w++ {
 			go func() {
 				defer wg.Done()
+				if chaos.Enabled {
+					chaos.SkewWorker(chaos.SiteParallelWorker)
+				}
 				for {
 					b := int(next.Add(1)) - 1
 					if b >= nblocks {
@@ -118,6 +123,9 @@ func ForBlocked(n, grain int, body func(lo, hi int)) {
 		}
 		go func(lo, hi int) {
 			defer wg.Done()
+			if chaos.Enabled {
+				chaos.SkewWorker(chaos.SiteParallelWorker)
+			}
 			body(lo, hi)
 		}(lo, hi)
 	}
@@ -141,6 +149,9 @@ func Do(fs ...func()) {
 	for _, f := range fs[1:] {
 		go func(f func()) {
 			defer wg.Done()
+			if chaos.Enabled {
+				chaos.SkewWorker(chaos.SiteParallelWorker)
+			}
 			f()
 		}(f)
 	}

@@ -44,8 +44,26 @@
 package phasehash
 
 import (
+	"fmt"
+
 	"phasehash/internal/core"
 	"phasehash/internal/parallel"
+)
+
+// Sentinel errors returned by the TryInsert methods. Every concrete
+// return wraps one of these with situation detail (table size, count,
+// load factor), so match with errors.Is.
+var (
+	// ErrFull reports a saturated fixed-capacity container: the insert's
+	// probe sequence swept the whole backing array. TryInsert returns it
+	// where the panicking Insert would crash; size containers for a load
+	// factor below ~0.9 to stay clear of it.
+	ErrFull = core.ErrFull
+	// ErrNilValue reports an attempt to store a nil record in a
+	// pointer-backed container.
+	ErrNilValue = core.ErrNilValue
+	// ErrReservedKey reports an insert of the reserved key (0).
+	ErrReservedKey = core.ErrReservedKey
 )
 
 // Set is a deterministic phase-concurrent set of uint64 keys (key 0 is
@@ -61,8 +79,15 @@ func NewSet(capacity int) *Set {
 	return &Set{t: core.NewWordTable[core.SetOps](capacity)}
 }
 
-// Insert adds k (insert phase). It reports whether the set grew.
+// Insert adds k (insert phase). It reports whether the set grew. It
+// panics on the reserved key 0 and on a full set; use TryInsert where
+// saturation must degrade gracefully.
 func (s *Set) Insert(k uint64) bool { return s.t.Insert(k) }
+
+// TryInsert is Insert returning errors instead of panicking:
+// ErrReservedKey for key 0 and ErrFull for a saturated set, both
+// matchable with errors.Is.
+func (s *Set) TryInsert(k uint64) (bool, error) { return s.t.TryInsert(k) }
 
 // Contains reports whether k is present (read phase).
 func (s *Set) Contains(k uint64) bool { return s.t.Contains(k) }
@@ -122,19 +147,32 @@ func NewMap32(capacity int, policy Combine) *Map32 {
 }
 
 // Insert adds (k, v), resolving duplicates per the policy (insert
-// phase). It reports whether a new key was added.
+// phase). It reports whether a new key was added. It panics on the
+// reserved key 0 and on a full map; use TryInsert where saturation must
+// degrade gracefully.
 func (m *Map32) Insert(k, v uint32) bool {
+	added, err := m.TryInsert(k, v)
+	if err != nil {
+		panic("phasehash: Map32: " + err.Error())
+	}
+	return added
+}
+
+// TryInsert is Insert returning errors instead of panicking:
+// ErrReservedKey for key 0 and ErrFull for a saturated map, both
+// matchable with errors.Is.
+func (m *Map32) TryInsert(k, v uint32) (bool, error) {
 	if k == 0 {
-		panic("phasehash: key 0 is reserved")
+		return false, fmt.Errorf("%w: key 0", ErrReservedKey)
 	}
 	e := core.Pair(k, v)
 	switch {
 	case m.min != nil:
-		return m.min.Insert(e)
+		return m.min.TryInsert(e)
 	case m.max != nil:
-		return m.max.Insert(e)
+		return m.max.TryInsert(e)
 	default:
-		return m.sum.Insert(e)
+		return m.sum.TryInsert(e)
 	}
 }
 

@@ -66,13 +66,24 @@ func NewStringMap(capacity int, policy Combine) *StringMap {
 }
 
 // Insert adds (k, v), resolving duplicate keys per the policy (insert
-// phase). It reports whether a new key was added.
+// phase). It reports whether a new key was added. It panics on a full
+// map; use TryInsert where saturation must degrade gracefully.
 func (m *StringMap) Insert(k string, v uint64) bool {
+	added, err := m.TryInsert(k, v)
+	if err != nil {
+		panic("phasehash: StringMap: " + err.Error())
+	}
+	return added
+}
+
+// TryInsert is Insert returning ErrFull (matchable with errors.Is)
+// instead of panicking when the map is saturated.
+func (m *StringMap) TryInsert(k string, v uint64) (bool, error) {
 	e := &strEntry{key: k, val: v}
 	if m.min != nil {
-		return m.min.Insert(e)
+		return m.min.TryInsert(e)
 	}
-	return m.sum.Insert(e)
+	return m.sum.TryInsert(e)
 }
 
 // Find returns the value stored under k (read phase).
