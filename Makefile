@@ -3,7 +3,7 @@
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: all build test race lint phasevet fmt fuzz chaos soak install-phasevet
+.PHONY: all build test race lint phasevet fmt fuzz chaos soak install-phasevet benchbase
 
 all: build test lint
 
@@ -48,3 +48,14 @@ chaos:
 # paths).
 soak:
 	go run -tags chaos ./cmd/phload -chaos -soak 2m
+
+# benchbase = regenerate the committed core-benchmark baseline
+# (BENCH_core.json): the bulk-kernel before/after pairs at 1 worker and
+# at GOMAXPROCS, 5 runs each, aggregated to min/mean/max by benchjson.
+# CI runs this non-blocking and uploads the artifact; commit the file
+# when the numbers move for a reason.
+benchbase:
+	go test -run xxx -bench 'PerElement|InsertAll$$|FindAll$$|DeleteAll$$' \
+		-benchmem -count=5 -cpu 1,$$(nproc) ./internal/core \
+		| go run ./cmd/benchjson > BENCH_core.json
+	@echo wrote BENCH_core.json

@@ -1,0 +1,201 @@
+package phasehash
+
+import (
+	"fmt"
+
+	"phasehash/internal/core"
+	"phasehash/internal/parallel"
+)
+
+// This file exposes the bulk phase kernels (internal/core/bulk.go) on
+// the public containers. A bulk call performs exactly the operations of
+// the equivalent per-element loop — same phase discipline, same
+// deterministic quiescent state — but runs them as monomorphic blocked
+// loops on the persistent worker pool with software-pipelined probes,
+// which is substantially faster than dispatching a closure per element
+// (see EXPERIMENTS.md). Use them whenever a phase's operations are
+// already in a slice.
+
+// InsertAll inserts every key (insert phase) and returns how many grew
+// the set — deterministic for a given key multiset. It panics on the
+// reserved key 0 and on a full set, exactly as Insert does; use
+// TryInsertAll where saturation must degrade gracefully.
+func (s *Set) InsertAll(keys []uint64) int { return s.t.InsertAll(keys) }
+
+// TryInsertAll is InsertAll returning errors instead of panicking. It
+// attempts every key, returns how many grew the set, and reports the
+// error of one failed insert when any failed (ErrReservedKey, ErrFull —
+// matchable with errors.Is).
+func (s *Set) TryInsertAll(keys []uint64) (int, error) { return s.t.TryInsertAll(keys) }
+
+// ContainsAll reports how many of the keys are present (read phase).
+func (s *Set) ContainsAll(keys []uint64) int { return s.t.ContainsAll(keys) }
+
+// DeleteAll deletes every key (delete phase) and returns how many were
+// removed.
+func (s *Set) DeleteAll(keys []uint64) int { return s.t.DeleteAll(keys) }
+
+// InsertAll inserts every entry, resolving duplicate keys per the
+// policy (insert phase), and returns how many new keys were added. It
+// panics on the reserved key 0 and on a full map; use TryInsertAll
+// where saturation must degrade gracefully.
+func (m *Map32) InsertAll(entries []Entry) int {
+	n, err := m.TryInsertAll(entries)
+	if err != nil {
+		panic("phasehash: Map32: " + err.Error())
+	}
+	return n
+}
+
+// TryInsertAll is InsertAll returning errors instead of panicking
+// (ErrReservedKey, ErrFull — matchable with errors.Is). Entries with
+// valid keys are all attempted even when some keys are reserved.
+func (m *Map32) TryInsertAll(entries []Entry) (int, error) {
+	packed := make([]uint64, 0, len(entries))
+	reserved := 0
+	for _, e := range entries {
+		if e.Key == 0 {
+			reserved++
+			continue
+		}
+		packed = append(packed, core.Pair(e.Key, e.Value))
+	}
+	var n int
+	var err error
+	switch {
+	case m.min != nil:
+		n, err = m.min.TryInsertAll(packed)
+	case m.max != nil:
+		n, err = m.max.TryInsertAll(packed)
+	default:
+		n, err = m.sum.TryInsertAll(packed)
+	}
+	if err == nil && reserved > 0 {
+		err = fmt.Errorf("%w: key 0 (%d entries)", ErrReservedKey, reserved)
+	}
+	return n, err
+}
+
+// FindAll looks up every key (read phase) and returns how many are
+// present. When vals is non-nil it must have len(vals) >= len(keys);
+// vals[i] receives the value stored under keys[i], or 0 when absent.
+// A nil vals counts without writing.
+func (m *Map32) FindAll(keys []uint32, vals []uint32) int {
+	probes := make([]uint64, len(keys))
+	parallel.For(len(keys), func(i int) { probes[i] = core.Pair(keys[i], 0) })
+	var dst []uint64
+	if vals != nil {
+		dst = make([]uint64, len(keys))
+	}
+	var n int
+	switch {
+	case m.min != nil:
+		n = m.min.FindAll(probes, dst)
+	case m.max != nil:
+		n = m.max.FindAll(probes, dst)
+	default:
+		n = m.sum.FindAll(probes, dst)
+	}
+	if vals != nil {
+		parallel.For(len(keys), func(i int) { vals[i] = core.PairValue(dst[i]) })
+	}
+	return n
+}
+
+// DeleteAll deletes every key (delete phase) and returns how many were
+// removed.
+func (m *Map32) DeleteAll(keys []uint32) int {
+	probes := make([]uint64, len(keys))
+	parallel.For(len(keys), func(i int) { probes[i] = core.Pair(keys[i], 0) })
+	switch {
+	case m.min != nil:
+		return m.min.DeleteAll(probes)
+	case m.max != nil:
+		return m.max.DeleteAll(probes)
+	default:
+		return m.sum.DeleteAll(probes)
+	}
+}
+
+// InsertAll inserts (keys[i], vals[i]) for every i, resolving duplicate
+// keys per the policy (insert phase), and returns how many new keys
+// were added. keys and vals must have equal length. It panics on a full
+// map; use TryInsertAll where saturation must degrade gracefully.
+func (m *StringMap) InsertAll(keys []string, vals []uint64) int {
+	n, err := m.TryInsertAll(keys, vals)
+	if err != nil {
+		panic("phasehash: StringMap: " + err.Error())
+	}
+	return n
+}
+
+// TryInsertAll is InsertAll returning ErrFull (matchable with
+// errors.Is) instead of panicking when the map saturates.
+func (m *StringMap) TryInsertAll(keys []string, vals []uint64) (int, error) {
+	if len(keys) != len(vals) {
+		return 0, fmt.Errorf("phasehash: StringMap.TryInsertAll: %d keys, %d values", len(keys), len(vals))
+	}
+	entries := make([]*strEntry, len(keys))
+	parallel.For(len(keys), func(i int) {
+		entries[i] = &strEntry{key: keys[i], val: vals[i]}
+	})
+	if m.min != nil {
+		return m.min.TryInsertAll(entries)
+	}
+	return m.sum.TryInsertAll(entries)
+}
+
+// FindAll looks up every key (read phase) and returns how many are
+// present. When vals is non-nil it must have len(vals) >= len(keys);
+// vals[i] receives the value stored under keys[i], or 0 when absent.
+func (m *StringMap) FindAll(keys []string, vals []uint64) int {
+	probes := make([]*strEntry, len(keys))
+	parallel.For(len(keys), func(i int) { probes[i] = &strEntry{key: keys[i]} })
+	var dst []*strEntry
+	if vals != nil {
+		dst = make([]*strEntry, len(keys))
+	}
+	var n int
+	if m.min != nil {
+		n = m.min.FindAll(probes, dst)
+	} else {
+		n = m.sum.FindAll(probes, dst)
+	}
+	if vals != nil {
+		parallel.For(len(keys), func(i int) {
+			if dst[i] != nil {
+				vals[i] = dst[i].val
+			} else {
+				vals[i] = 0
+			}
+		})
+	}
+	return n
+}
+
+// DeleteAll deletes every key (delete phase) and returns how many were
+// removed.
+func (m *StringMap) DeleteAll(keys []string) int {
+	probes := make([]*strEntry, len(keys))
+	parallel.For(len(keys), func(i int) { probes[i] = &strEntry{key: keys[i]} })
+	if m.min != nil {
+		return m.min.DeleteAll(probes)
+	}
+	return m.sum.DeleteAll(probes)
+}
+
+// InsertAll inserts every key (insert phase), growing as needed, and
+// returns how many grew the set. It panics on the reserved key 0; use
+// TryInsertAll to get an error instead.
+func (s *GrowSet) InsertAll(keys []uint64) int { return s.t.InsertAll(keys) }
+
+// TryInsertAll is InsertAll returning ErrReservedKey (matchable with
+// errors.Is) instead of panicking; every non-reserved key is inserted.
+func (s *GrowSet) TryInsertAll(keys []uint64) (int, error) { return s.t.TryInsertAll(keys) }
+
+// ContainsAll reports how many of the keys are present (read phase).
+func (s *GrowSet) ContainsAll(keys []uint64) int { return s.t.ContainsAll(keys) }
+
+// DeleteAll deletes every key (delete phase) and returns how many were
+// removed.
+func (s *GrowSet) DeleteAll(keys []uint64) int { return s.t.DeleteAll(keys) }

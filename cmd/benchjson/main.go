@@ -1,0 +1,165 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON document on stdout — the format of the committed
+// BENCH_core.json baseline that `make benchbase` regenerates and CI
+// uploads as an artifact. Repeated runs of one benchmark (-count=N)
+// are aggregated into min/mean/max so baselines are diffable without a
+// benchstat dependency.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -count=5 ./internal/core | benchjson > BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result aggregates every run of one benchmark name (including the
+// -cpu suffix, so `BenchmarkInsertAll-2` and `BenchmarkInsertAll` are
+// distinct rows).
+type Result struct {
+	Name       string  `json:"name"`
+	Runs       int     `json:"runs"`
+	NsPerOp    Stat    `json:"ns_per_op"`
+	BytesOp    *Stat   `json:"bytes_per_op,omitempty"`
+	AllocsOp   *Stat   `json:"allocs_per_op,omitempty"`
+	ElemsPerOp float64 `json:"elems_per_op,omitempty"`
+}
+
+// Stat is a min/mean/max summary over the runs.
+type Stat struct {
+	Min  float64 `json:"min"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+type accum struct{ vals []float64 }
+
+func (a *accum) add(v float64) { a.vals = append(a.vals, v) }
+
+func (a *accum) stat() Stat {
+	s := Stat{Min: a.vals[0], Max: a.vals[0]}
+	sum := 0.0
+	for _, v := range a.vals {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += v
+	}
+	s.Mean = sum / float64(len(a.vals))
+	return s
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	var doc Doc
+	type row struct {
+		ns, bytes, allocs, elems *accum
+	}
+	rows := map[string]*row{}
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		name := f[0]
+		ns, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			continue
+		}
+		r := rows[name]
+		if r == nil {
+			r = &row{ns: &accum{}, bytes: &accum{}, allocs: &accum{}, elems: &accum{}}
+			rows[name] = r
+			order = append(order, name)
+		}
+		r.ns.add(ns)
+		// Optional unit pairs after ns/op: "N B/op", "N allocs/op",
+		// custom metrics like "N elems/op".
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				r.bytes.add(v)
+			case "allocs/op":
+				r.allocs.add(v)
+			case "elems/op":
+				r.elems.add(v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		r := rows[name]
+		res := Result{
+			Name:    strings.TrimPrefix(name, "Benchmark"),
+			Runs:    len(r.ns.vals),
+			NsPerOp: r.ns.stat(),
+		}
+		if len(r.bytes.vals) > 0 {
+			s := r.bytes.stat()
+			res.BytesOp = &s
+		}
+		if len(r.allocs.vals) > 0 {
+			s := r.allocs.stat()
+			res.AllocsOp = &s
+		}
+		if len(r.elems.vals) > 0 {
+			res.ElemsPerOp = r.elems.stat().Mean
+		}
+		doc.Results = append(doc.Results, res)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -73,47 +73,70 @@ func init() {
 		ph   = "phasehash"
 		core = "phasehash/internal/core"
 	)
-	// Public containers.
+	// Public containers. The *All bulk kernels carry the phase of their
+	// per-element counterparts: a bulk call is the same phase's
+	// operations, just batched.
 	addFacts(ph, "Set", map[string]methodFact{
-		"Insert":    {phase: PhaseInsert},
-		"TryInsert": {phase: PhaseInsert},
-		"Delete":    {phase: PhaseDelete},
-		"Contains":  {phase: PhaseRead},
-		"Elements":  {phase: PhaseRead, capture: true},
-		"Count":     {phase: PhaseRead, capture: true},
+		"Insert":       {phase: PhaseInsert},
+		"TryInsert":    {phase: PhaseInsert},
+		"InsertAll":    {phase: PhaseInsert},
+		"TryInsertAll": {phase: PhaseInsert},
+		"Delete":       {phase: PhaseDelete},
+		"DeleteAll":    {phase: PhaseDelete},
+		"Contains":     {phase: PhaseRead},
+		"ContainsAll":  {phase: PhaseRead},
+		"Elements":     {phase: PhaseRead, capture: true},
+		"Count":        {phase: PhaseRead, capture: true},
 	})
 	addFacts(ph, "Map32", map[string]methodFact{
-		"Insert":    {phase: PhaseInsert},
-		"TryInsert": {phase: PhaseInsert},
-		"Delete":    {phase: PhaseDelete},
-		"Find":      {phase: PhaseRead},
-		"Entries":   {phase: PhaseRead, capture: true},
-		"Count":     {phase: PhaseRead, capture: true},
+		"Insert":       {phase: PhaseInsert},
+		"TryInsert":    {phase: PhaseInsert},
+		"InsertAll":    {phase: PhaseInsert},
+		"TryInsertAll": {phase: PhaseInsert},
+		"Delete":       {phase: PhaseDelete},
+		"DeleteAll":    {phase: PhaseDelete},
+		"Find":         {phase: PhaseRead},
+		"FindAll":      {phase: PhaseRead},
+		"Entries":      {phase: PhaseRead, capture: true},
+		"Count":        {phase: PhaseRead, capture: true},
 	})
 	addFacts(ph, "StringMap", map[string]methodFact{
-		"Insert":    {phase: PhaseInsert},
-		"TryInsert": {phase: PhaseInsert},
-		"Delete":    {phase: PhaseDelete},
-		"Find":      {phase: PhaseRead},
-		"Entries":   {phase: PhaseRead, capture: true},
-		"Count":     {phase: PhaseRead, capture: true},
+		"Insert":       {phase: PhaseInsert},
+		"TryInsert":    {phase: PhaseInsert},
+		"InsertAll":    {phase: PhaseInsert},
+		"TryInsertAll": {phase: PhaseInsert},
+		"Delete":       {phase: PhaseDelete},
+		"DeleteAll":    {phase: PhaseDelete},
+		"Find":         {phase: PhaseRead},
+		"FindAll":      {phase: PhaseRead},
+		"Entries":      {phase: PhaseRead, capture: true},
+		"Count":        {phase: PhaseRead, capture: true},
 	})
 	addFacts(ph, "GrowSet", map[string]methodFact{
-		"Insert":    {phase: PhaseInsert},
-		"TryInsert": {phase: PhaseInsert},
-		"Delete":    {phase: PhaseDelete},
-		"Contains":  {phase: PhaseRead},
-		"Elements":  {phase: PhaseRead, capture: true},
-		"Count":     {phase: PhaseRead, capture: true},
+		"Insert":       {phase: PhaseInsert},
+		"TryInsert":    {phase: PhaseInsert},
+		"InsertAll":    {phase: PhaseInsert},
+		"TryInsertAll": {phase: PhaseInsert},
+		"Delete":       {phase: PhaseDelete},
+		"DeleteAll":    {phase: PhaseDelete},
+		"Contains":     {phase: PhaseRead},
+		"ContainsAll":  {phase: PhaseRead},
+		"Elements":     {phase: PhaseRead, capture: true},
+		"Count":        {phase: PhaseRead, capture: true},
 	})
 	// internal/core tables (generic; looked up by their generic name).
 	addFacts(core, "WordTable", map[string]methodFact{
 		"Insert":        {phase: PhaseInsert},
 		"TryInsert":     {phase: PhaseInsert},
+		"InsertAll":     {phase: PhaseInsert},
+		"TryInsertAll":  {phase: PhaseInsert},
 		"InsertLimited": {phase: PhaseInsert},
 		"Delete":        {phase: PhaseDelete},
+		"DeleteAll":     {phase: PhaseDelete},
 		"Find":          {phase: PhaseRead},
+		"FindAll":       {phase: PhaseRead},
 		"Contains":      {phase: PhaseRead},
+		"ContainsAll":   {phase: PhaseRead},
 		"Elements":      {phase: PhaseRead, capture: true},
 		"ElementsInto":  {phase: PhaseRead, capture: true},
 		"Count":         {phase: PhaseRead, capture: true},
@@ -121,21 +144,30 @@ func init() {
 		"ForEach":       {phase: PhaseRead},
 	})
 	addFacts(core, "PtrTable", map[string]methodFact{
-		"Insert":    {phase: PhaseInsert},
-		"TryInsert": {phase: PhaseInsert},
-		"Delete":    {phase: PhaseDelete},
-		"Find":      {phase: PhaseRead},
-		"Elements":  {phase: PhaseRead, capture: true},
-		"Count":     {phase: PhaseRead, capture: true},
+		"Insert":       {phase: PhaseInsert},
+		"TryInsert":    {phase: PhaseInsert},
+		"InsertAll":    {phase: PhaseInsert},
+		"TryInsertAll": {phase: PhaseInsert},
+		"Delete":       {phase: PhaseDelete},
+		"DeleteAll":    {phase: PhaseDelete},
+		"Find":         {phase: PhaseRead},
+		"FindAll":      {phase: PhaseRead},
+		"Elements":     {phase: PhaseRead, capture: true},
+		"Count":        {phase: PhaseRead, capture: true},
 	})
 	addFacts(core, "GrowTable", map[string]methodFact{
-		"Insert":    {phase: PhaseInsert},
-		"TryInsert": {phase: PhaseInsert},
-		"Delete":    {phase: PhaseDelete},
-		"Find":      {phase: PhaseRead},
-		"Contains":  {phase: PhaseRead},
-		"Elements":  {phase: PhaseRead, capture: true},
-		"Count":     {phase: PhaseRead, capture: true},
+		"Insert":       {phase: PhaseInsert},
+		"TryInsert":    {phase: PhaseInsert},
+		"InsertAll":    {phase: PhaseInsert},
+		"TryInsertAll": {phase: PhaseInsert},
+		"Delete":       {phase: PhaseDelete},
+		"DeleteAll":    {phase: PhaseDelete},
+		"Find":         {phase: PhaseRead},
+		"FindAll":      {phase: PhaseRead},
+		"Contains":     {phase: PhaseRead},
+		"ContainsAll":  {phase: PhaseRead},
+		"Elements":     {phase: PhaseRead, capture: true},
+		"Count":        {phase: PhaseRead, capture: true},
 	})
 }
 

@@ -33,6 +33,7 @@ func TestCorpus(t *testing.T) {
 		{"barriers", []string{"readcapture"}},
 		{"wrappers", []string{"mixedphases", "readcapture"}},
 		{"coretab", []string{"mixedphases", "readcapture", "gomix"}},
+		{"bulk", []string{"mixedphases", "gomix"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.pkg, func(t *testing.T) {

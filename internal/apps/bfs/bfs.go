@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"phasehash/internal/atomicx"
@@ -170,9 +171,38 @@ func Table(g *graph.Graph, r int, kind tables.Kind) []int64 {
 		// can be inserted by a transient winner and then re-claimed by a
 		// smaller parent; the table stores the vertex id, so duplicates
 		// merge and the *final* WriteMin value is its parent either way.
-		claimNeighbors(g, parents, frontier, func(_, u uint32) {
-			tab.Insert(uint64(u) + 1) // offset: table keys must not be 0
-		})
+		if b, ok := tables.AsBulk(tab); ok {
+			// Bulk path: settle all claims first (as the array version
+			// does), then each frontier vertex collects the neighbors it
+			// owns and the won set is inserted with one bulk call. The
+			// distinct key set — and hence the deterministic layout — is
+			// identical to the per-element path's; only transient
+			// duplicate inserts (which merge to nothing) are skipped.
+			claimNeighbors(g, parents, frontier, nil)
+			var mu sync.Mutex
+			var wins []uint64
+			parallel.ForBlocked(len(frontier), 1, func(lo, hi int) {
+				var local []uint64
+				for i := lo; i < hi; i++ {
+					v := frontier[i]
+					for _, u := range g.Neighbors(int(v)) {
+						if atomic.LoadInt64(&parents[u]) == int64(v) {
+							local = append(local, uint64(u)+1) // offset: table keys must not be 0
+						}
+					}
+				}
+				if len(local) > 0 {
+					mu.Lock()
+					wins = append(wins, local...)
+					mu.Unlock()
+				}
+			})
+			b.InsertAll(wins)
+		} else {
+			claimNeighbors(g, parents, frontier, func(_, u uint32) {
+				tab.Insert(uint64(u) + 1) // offset: table keys must not be 0
+			})
+		}
 		// Elements phase.
 		elems := tab.Elements()
 		next := make([]uint32, len(elems))

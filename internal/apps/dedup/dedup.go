@@ -18,18 +18,28 @@ import (
 // distinct count — the paper uses 2^27 cells for n=10^8 inputs).
 func Run(kind tables.Kind, elems []uint64, capacity int) []uint64 {
 	tab := tables.MustNew[core.SetOps](kind, capacity)
-	if kind.IsSerial() {
+	insertPhase(kind, tab, elems)
+	return tab.Elements()
+}
+
+// insertPhase drives the whole insert phase: serial loop for the
+// sequential baselines, the bulk kernel where the table has one
+// (linearHash-D), a parallel per-element loop otherwise.
+func insertPhase(kind tables.Kind, tab tables.Table, elems []uint64) {
+	switch b, ok := tables.AsBulk(tab); {
+	case kind.IsSerial():
 		for _, e := range elems {
 			tab.Insert(e)
 		}
-	} else {
+	case ok:
+		b.InsertAll(elems)
+	default:
 		parallel.ForBlocked(len(elems), 0, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				tab.Insert(elems[i])
 			}
 		})
 	}
-	return tab.Elements()
 }
 
 // RunPairs removes duplicate *keys* from packed key-value elements,
@@ -37,17 +47,7 @@ func Run(kind tables.Kind, elems []uint64, capacity int) []uint64 {
 // priority-on-values rule (minimum value wins).
 func RunPairs(kind tables.Kind, elems []uint64, capacity int) []uint64 {
 	tab := tables.MustNew[core.PairMinOps](kind, capacity)
-	if kind.IsSerial() {
-		for _, e := range elems {
-			tab.Insert(e)
-		}
-	} else {
-		parallel.ForBlocked(len(elems), 0, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				tab.Insert(elems[i])
-			}
-		})
-	}
+	insertPhase(kind, tab, elems)
 	return tab.Elements()
 }
 
@@ -55,11 +55,7 @@ func RunPairs(kind tables.Kind, elems []uint64, capacity int) []uint64 {
 // pointer table (the trigramSeq-pairInt configuration).
 func RunStrings(pairs []*sequence.StrPair, capacity int) []*sequence.StrPair {
 	tab := core.NewPtrTable[sequence.StrPair, sequence.StrPairOps](capacity)
-	parallel.ForBlocked(len(pairs), 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			tab.Insert(pairs[i])
-		}
-	})
+	tab.InsertAll(pairs)
 	return tab.Elements()
 }
 

@@ -138,6 +138,7 @@ func Table(n int, edges []graph.Edge, kind tables.Kind) []int {
 	active := make([]int, 0, granularity+8)
 	next := 0
 	key := func(root int32) uint64 { return core.Pair(uint32(root)+1, 0) }
+	bulk, hasBulk := tables.AsBulk(tab)
 	for {
 		for len(active) < granularity && next < len(edges) {
 			active = append(active, next)
@@ -150,33 +151,79 @@ func Table(n int, edges []graph.Edge, kind tables.Kind) []int {
 		keep := make([]bool, p)
 		release := make([]int32, p) // live roots whose reservation we must delete
 		// --- Insert phase: reserve both roots (PairMin keeps the
-		// minimum edge index per root key).
-		parallel.ForGrain(p, 1, func(j int) {
-			i := active[j]
-			e := edges[i]
-			u := uf.Find(int(e.U))
-			v := uf.Find(int(e.V))
-			release[j] = -1
-			if u == v {
-				return
+		// minimum edge index per root key). With a bulk-capable table
+		// the root lookups run first and the reservations land with one
+		// InsertAll; the reservation multiset is exactly the per-element
+		// path's, so the deterministic minimum per root is too.
+		if hasBulk {
+			resv := make([]uint64, 2*p)
+			parallel.ForGrain(p, 1, func(j int) {
+				i := active[j]
+				e := edges[i]
+				u := uf.Find(int(e.U))
+				v := uf.Find(int(e.V))
+				release[j] = -1
+				if u == v {
+					return
+				}
+				roots[i] = [2]int32{int32(u), int32(v)}
+				resv[2*j] = core.Pair(uint32(u)+1, uint32(i))
+				resv[2*j+1] = core.Pair(uint32(v)+1, uint32(i))
+				keep[j] = true
+			})
+			bulk.InsertAll(parallel.Pack(resv, func(k int) bool { return resv[k] != 0 }))
+		} else {
+			parallel.ForGrain(p, 1, func(j int) {
+				i := active[j]
+				e := edges[i]
+				u := uf.Find(int(e.U))
+				v := uf.Find(int(e.V))
+				release[j] = -1
+				if u == v {
+					return
+				}
+				roots[i] = [2]int32{int32(u), int32(v)}
+				tab.Insert(core.Pair(uint32(u)+1, uint32(i)))
+				tab.Insert(core.Pair(uint32(v)+1, uint32(i)))
+				keep[j] = true
+			})
+		}
+		// --- Find phase: commit edges that hold a reservation. The
+		// table is read-only through this phase, so the bulk path
+		// prefetches both roots' reservations with one FindAll and the
+		// commit logic consumes the prefetched values.
+		var found []uint64
+		if hasBulk {
+			probes := make([]uint64, 2*p)
+			parallel.For(p, func(j int) {
+				if !keep[j] {
+					return
+				}
+				i := active[j]
+				probes[2*j] = key(roots[i][0])
+				probes[2*j+1] = key(roots[i][1])
+			})
+			found = make([]uint64, 2*p)
+			bulk.FindAll(probes, found)
+		}
+		lookup := func(j int, slot int, k uint64) (uint64, bool) {
+			if found != nil {
+				e := found[2*j+slot]
+				return e, e != 0
 			}
-			roots[i] = [2]int32{int32(u), int32(v)}
-			tab.Insert(core.Pair(uint32(u)+1, uint32(i)))
-			tab.Insert(core.Pair(uint32(v)+1, uint32(i)))
-			keep[j] = true
-		})
-		// --- Find phase: commit edges that hold a reservation.
+			return tab.Find(k)
+		}
 		parallel.ForGrain(p, 1, func(j int) {
 			if !keep[j] {
 				return
 			}
 			i := active[j]
 			u, v := roots[i][0], roots[i][1]
-			ev, okV := tab.Find(key(v))
+			ev, okV := lookup(j, 1, key(v))
 			if okV && core.PairValue(ev) == uint32(i) {
 				// v dies under u; if we also hold u (still live),
 				// schedule its reservation for release.
-				if eu, okU := tab.Find(key(u)); okU && core.PairValue(eu) == uint32(i) {
+				if eu, okU := lookup(j, 0, key(u)); okU && core.PairValue(eu) == uint32(i) {
 					release[j] = u
 				}
 				uf.Link(int(v), int(u))
@@ -184,7 +231,7 @@ func Table(n int, edges []graph.Edge, kind tables.Kind) []int {
 				keep[j] = false
 				return
 			}
-			if eu, okU := tab.Find(key(u)); okU && core.PairValue(eu) == uint32(i) {
+			if eu, okU := lookup(j, 0, key(u)); okU && core.PairValue(eu) == uint32(i) {
 				uf.Link(int(u), int(v))
 				kept.add(i)
 				keep[j] = false
@@ -194,11 +241,21 @@ func Table(n int, edges []graph.Edge, kind tables.Kind) []int {
 		// stale minima cannot block the next round. (Reservations on
 		// dead roots are never consulted again and stay in the table;
 		// at most one per vertex over the whole run.)
-		parallel.ForGrain(p, 1, func(j int) {
-			if release[j] >= 0 {
-				tab.Delete(key(release[j]))
-			}
-		})
+		if hasBulk {
+			dels := make([]uint64, p)
+			parallel.For(p, func(j int) {
+				if release[j] >= 0 {
+					dels[j] = key(release[j])
+				}
+			})
+			bulk.DeleteAll(parallel.Pack(dels, func(k int) bool { return dels[k] != 0 }))
+		} else {
+			parallel.ForGrain(p, 1, func(j int) {
+				if release[j] >= 0 {
+					tab.Delete(key(release[j]))
+				}
+			})
+		}
 		w := 0
 		for j := 0; j < p; j++ {
 			if keep[j] {

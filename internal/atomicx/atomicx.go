@@ -88,6 +88,26 @@ func (c *PaddedCounter) Load() uint64 { return c.v.Load() }
 // Store sets the value.
 func (c *PaddedCounter) Store(v uint64) { c.v.Store(v) }
 
+// PaddedInt64 is an int64 counter padded to a full cache line. The
+// parallel runtime uses it for work-distribution hot words (the shared
+// block cursor and outstanding-block count of a loop dispatch): the two
+// words every worker hammers must not share a line with each other or
+// with anything else, or the ping-ponging line becomes the scheduler's
+// bottleneck.
+type PaddedInt64 struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Add adds delta and returns the new value.
+func (c *PaddedInt64) Add(delta int64) int64 { return c.v.Add(delta) }
+
+// Load returns the current value.
+func (c *PaddedInt64) Load() int64 { return c.v.Load() }
+
+// Store sets the value.
+func (c *PaddedInt64) Store(v int64) { c.v.Store(v) }
+
 // CounterArray is a set of per-worker padded counters with a combined
 // total, used for low-contention statistics gathering in benchmarks.
 type CounterArray struct {

@@ -50,6 +50,34 @@ func applyAll(kind tables.Kind, elems []uint64, f func(e uint64)) {
 	})
 }
 
+// insertAll drives a whole insert phase: the bulk kernel when the table
+// has one (linearHash-D), the per-element loop otherwise.
+func insertAll(kind tables.Kind, tab tables.Table, elems []uint64) {
+	if b, ok := tables.AsBulk(tab); ok && !kind.IsSerial() {
+		b.InsertAll(elems)
+		return
+	}
+	applyAll(kind, elems, func(e uint64) { tab.Insert(e) })
+}
+
+// findAll drives a whole find phase; see insertAll.
+func findAll(kind tables.Kind, tab tables.Table, keys []uint64) {
+	if b, ok := tables.AsBulk(tab); ok && !kind.IsSerial() {
+		b.FindAll(keys, nil)
+		return
+	}
+	applyAll(kind, keys, func(e uint64) { tab.Find(e) })
+}
+
+// deleteAll drives a whole delete phase; see insertAll.
+func deleteAll(kind tables.Kind, tab tables.Table, keys []uint64) {
+	if b, ok := tables.AsBulk(tab); ok && !kind.IsSerial() {
+		b.DeleteAll(keys)
+		return
+	}
+	applyAll(kind, keys, func(e uint64) { tab.Delete(e) })
+}
+
 // opsForDist picks the element semantics matching the distribution: set
 // semantics for key-only inputs, min-combine pairs for key-value inputs
 // (the paper's deterministic priority-on-values rule).
@@ -69,13 +97,13 @@ func Table1Cell(kind tables.Kind, d sequence.Distribution, op Op, n, tableSize i
 	switch op {
 	case OpInsert:
 		start := time.Now()
-		applyAll(kind, elems, func(e uint64) { tab.Insert(e) })
+		insertAll(kind, tab, elems)
 		return time.Since(start)
 	case OpFindRandom, OpFindInserted, OpDeleteRandom, OpDeleteInserted:
 		// Pre-fill with the inserted set (untimed), then operate on
 		// either the same elements or a fresh draw from the
 		// distribution.
-		applyAll(kind, elems, func(e uint64) { tab.Insert(e) })
+		insertAll(kind, tab, elems)
 		probe := elems
 		if op == OpFindRandom || op == OpDeleteRandom {
 			probe = sequence.WordElements(d, n, 43)
@@ -83,13 +111,13 @@ func Table1Cell(kind tables.Kind, d sequence.Distribution, op Op, n, tableSize i
 		start := time.Now()
 		switch op {
 		case OpFindRandom, OpFindInserted:
-			applyAll(kind, probe, func(e uint64) { tab.Find(e) })
+			findAll(kind, tab, probe)
 		default:
-			applyAll(kind, probe, func(e uint64) { tab.Delete(e) })
+			deleteAll(kind, tab, probe)
 		}
 		return time.Since(start)
 	case OpElements:
-		applyAll(kind, elems, func(e uint64) { tab.Insert(e) })
+		insertAll(kind, tab, elems)
 		start := time.Now()
 		tab.Elements()
 		return time.Since(start)
@@ -107,33 +135,26 @@ func Table1Cell(kind tables.Kind, d sequence.Distribution, op Op, n, tableSize i
 func Table1CellStrings(op Op, n, tableSize int) time.Duration {
 	pairs := sequence.TrigramPairs(n, 42)
 	tab := core.NewPtrTable[sequence.StrPair, sequence.StrPairOps](tableSize)
-	apply := func(ps []*sequence.StrPair, f func(p *sequence.StrPair)) {
-		parallel.ForBlocked(len(ps), 0, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				f(ps[i])
-			}
-		})
-	}
 	switch op {
 	case OpInsert:
 		start := time.Now()
-		apply(pairs, func(p *sequence.StrPair) { tab.Insert(p) })
+		tab.InsertAll(pairs)
 		return time.Since(start)
 	case OpFindRandom, OpFindInserted, OpDeleteRandom, OpDeleteInserted:
-		apply(pairs, func(p *sequence.StrPair) { tab.Insert(p) })
+		tab.InsertAll(pairs)
 		probe := pairs
 		if op == OpFindRandom || op == OpDeleteRandom {
 			probe = sequence.TrigramPairs(n, 43)
 		}
 		start := time.Now()
 		if op == OpFindRandom || op == OpFindInserted {
-			apply(probe, func(p *sequence.StrPair) { tab.Find(p) })
+			tab.FindAll(probe, nil)
 		} else {
-			apply(probe, func(p *sequence.StrPair) { tab.Delete(p) })
+			tab.DeleteAll(probe)
 		}
 		return time.Since(start)
 	case OpElements:
-		apply(pairs, func(p *sequence.StrPair) { tab.Insert(p) })
+		tab.InsertAll(pairs)
 		start := time.Now()
 		tab.Elements()
 		return time.Since(start)

@@ -104,7 +104,13 @@ func (t *PtrTable[T, O]) TryInsert(v *T) (bool, error) {
 // of error construction so both stay thin inlinable wrappers. full
 // reports a whole-array sweep (saturation).
 func (t *PtrTable[T, O]) insertLoop(v *T) (added, full bool) {
-	i := t.home(v)
+	return t.insertLoopFrom(v, t.home(v))
+}
+
+// insertLoopFrom is insertLoop starting from a caller-supplied probe
+// origin (i must be t.home(v)); the bulk kernels pre-hash and
+// cache-stage homes ahead of the probe.
+func (t *PtrTable[T, O]) insertLoopFrom(v *T, i int) (added, full bool) {
 	limit := i + len(t.cells)
 	for {
 		if chaos.Enabled {
@@ -164,7 +170,11 @@ func (t *PtrTable[T, O]) fullErr() error {
 // Find returns the stored element with v's key (find/elements phase
 // only). Only v's key fields need to be populated.
 func (t *PtrTable[T, O]) Find(v *T) (*T, bool) {
-	i := t.home(v)
+	return t.findFrom(v, t.home(v))
+}
+
+// findFrom is Find starting from a caller-supplied probe origin.
+func (t *PtrTable[T, O]) findFrom(v *T, i int) (*T, bool) {
 	for {
 		c := t.load(i)
 		if c == nil {
@@ -183,7 +193,11 @@ func (t *PtrTable[T, O]) Find(v *T) (*T, bool) {
 
 // Delete removes the element with v's key (delete phase only).
 func (t *PtrTable[T, O]) Delete(v *T) bool {
-	i := t.home(v)
+	return t.deleteFrom(v, t.home(v))
+}
+
+// deleteFrom is Delete starting from a caller-supplied probe origin.
+func (t *PtrTable[T, O]) deleteFrom(v *T, i int) bool {
 	k := i
 	for {
 		c := t.load(k)

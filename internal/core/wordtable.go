@@ -102,12 +102,18 @@ func (t *WordTable[O]) TryInsert(v uint64) (bool, error) {
 // insertLoop is the probe loop shared by Insert and TryInsert, kept free
 // of error construction so both stay thin inlinable wrappers. full
 // reports a whole-array sweep (saturation).
+func (t *WordTable[O]) insertLoop(v uint64) (added, full bool) {
+	return t.insertLoopFrom(v, t.home(v))
+}
+
+// insertLoopFrom is insertLoop starting from a caller-supplied probe
+// origin (i must be t.home(v)); the bulk kernels pre-compute and
+// cache-stage homes a few elements ahead of the probe.
 //
 // This is Figure 1's INSERT: walk the probe sequence; past higher-priority
 // elements, step forward; on a lower-priority element, CAS ourselves in
 // and carry the displaced element forward; on an equal key, merge.
-func (t *WordTable[O]) insertLoop(v uint64) (added, full bool) {
-	i := t.home(v)
+func (t *WordTable[O]) insertLoopFrom(v uint64, i int) (added, full bool) {
 	limit := i + len(t.cells)
 	for {
 		if chaos.Enabled {
@@ -231,7 +237,12 @@ func (t *WordTable[O]) InsertLimited(v uint64, limit int) (added, ok bool) {
 // cells hold strictly higher-priority keys; the ordering invariant makes
 // the first cell with priority <= v's the only place v can live.
 func (t *WordTable[O]) Find(v uint64) (uint64, bool) {
-	i := t.home(v)
+	return t.findFrom(v, t.home(v))
+}
+
+// findFrom is Find starting from a caller-supplied probe origin (i must
+// be t.home(v)); see insertLoopFrom.
+func (t *WordTable[O]) findFrom(v uint64, i int) (uint64, bool) {
 	for {
 		c := t.load(i)
 		if c == Empty {
@@ -261,7 +272,12 @@ func (t *WordTable[O]) Contains(v uint64) bool {
 // legally move back into the hole, CAS it in, and recursively delete the
 // copy it left behind.
 func (t *WordTable[O]) Delete(v uint64) bool {
-	i := t.home(v)
+	return t.deleteFrom(v, t.home(v))
+}
+
+// deleteFrom is Delete starting from a caller-supplied probe origin (i
+// must be t.home(v)); see insertLoopFrom.
+func (t *WordTable[O]) deleteFrom(v uint64, i int) bool {
 	// Find v or the first element past it in the probe sequence
 	// (concurrent deletes may have shifted v back, never forward).
 	k := i

@@ -86,6 +86,36 @@ func (r WordRunner) Run(elems []uint64, workers int) OracleResult {
 	return OracleResult{Elements: t.Elements(), Layout: t.Snapshot(), Count: t.Count()}
 }
 
+// WordBulkRunner replays the same workload through the bulk phase
+// kernels (InsertAll / DeleteAll) instead of per-element striping. Its
+// operation set per phase is identical to WordRunner's, so its
+// quiescent state must be byte-identical too — across the grid AND
+// against WordRunner's cells (the cross-path assertion of the oracle
+// tests). The blocked pool dispatch replaces worker striping as the
+// schedule variation.
+type WordBulkRunner struct{ Capacity int }
+
+// Name implements Runner.
+func (r WordBulkRunner) Name() string { return "word-bulk" }
+
+// Run implements Runner.
+func (r WordBulkRunner) Run(elems []uint64, workers int) OracleResult {
+	t := core.NewWordTable[core.SetOps](r.Capacity)
+	t.InsertAll(elems)
+	t.DeleteAll(everyThird(elems))
+	return OracleResult{Elements: t.Elements(), Layout: t.Snapshot(), Count: t.Count()}
+}
+
+// everyThird selects the delete-phase inputs of replayPhases (every
+// index ≡ 0 mod 3) as a slice for the bulk kernels.
+func everyThird(elems []uint64) []uint64 {
+	del := make([]uint64, 0, len(elems)/3+1)
+	for i := 0; i < len(elems); i += 3 {
+		del = append(del, elems[i])
+	}
+	return del
+}
+
 // GrowRunner replays on a GrowTable[SetOps], covering the migration
 // machinery; Elements/Snapshot drain any in-flight migration first.
 type GrowRunner struct{ Initial int }
@@ -99,6 +129,21 @@ func (r GrowRunner) Run(elems []uint64, workers int) OracleResult {
 	replayPhases(len(elems), workers,
 		func(i int) { t.Insert(elems[i]) },
 		func(i int) { t.Delete(elems[i]) })
+	return OracleResult{Elements: t.Elements(), Layout: t.Snapshot(), Count: t.Count()}
+}
+
+// GrowBulkRunner is WordBulkRunner for the growing table: bulk kernels
+// over the migration machinery.
+type GrowBulkRunner struct{ Initial int }
+
+// Name implements Runner.
+func (r GrowBulkRunner) Name() string { return "grow-bulk" }
+
+// Run implements Runner.
+func (r GrowBulkRunner) Run(elems []uint64, workers int) OracleResult {
+	t := core.NewGrowTable[core.SetOps](r.Initial)
+	t.InsertAll(elems)
+	t.DeleteAll(everyThird(elems))
 	return OracleResult{Elements: t.Elements(), Layout: t.Snapshot(), Count: t.Count()}
 }
 
@@ -211,6 +256,51 @@ func RunOracle(r Runner, cfg OracleConfig) *Divergence {
 							SiteTrace:  chaos.TraceSummary(),
 						}
 						minimize(r, d, elems, cfg.Workers[0], cfg.Profiles[0], prof)
+						return d
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RunCrossOracle asserts two runners are observationally identical:
+// every grid cell of b must match a's reference cell (first worker
+// count, first profile) on the same workload. It is the oracle row that
+// pins the bulk kernels to the per-element path — pass a=WordRunner,
+// b=WordBulkRunner (or the grow pair) and any schedule- or
+// staging-induced layout difference between the paths is a failure.
+func RunCrossOracle(a, b Runner, cfg OracleConfig) *Divergence {
+	if len(cfg.Dists) == 0 {
+		cfg.Dists = sequence.AllDistributions
+	}
+	prevWorkers := parallel.SetNumWorkers(0)
+	defer func() {
+		parallel.SetNumWorkers(prevWorkers)
+		chaos.Disable()
+	}()
+	for _, dist := range cfg.Dists {
+		for _, seed := range cfg.Seeds {
+			elems := OracleWorkload(dist, cfg.N, seed)
+			ref := runCell(a, elems, cfg.Workers[0], cfg.Profiles[0], seed)
+			for _, prof := range cfg.Profiles {
+				for _, w := range cfg.Workers {
+					res := runCell(b, elems, w, prof, seed)
+					if detail := compareResults(ref, res); detail != "" {
+						d := &Divergence{
+							Runner:     a.Name() + " vs " + b.Name(),
+							Dist:       dist,
+							Seed:       seed,
+							N:          cfg.N,
+							MinN:       cfg.N,
+							Workers:    w,
+							Profile:    prof.Name,
+							RefWorkers: cfg.Workers[0],
+							RefProfile: cfg.Profiles[0].Name,
+							Detail:     detail,
+							SiteTrace:  chaos.TraceSummary(),
+						}
 						return d
 					}
 				}

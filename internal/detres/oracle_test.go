@@ -51,6 +51,38 @@ func TestOracleGridGrow(t *testing.T) {
 	}
 }
 
+func TestOracleGridWordBulk(t *testing.T) {
+	cfg := testOracleConfig(t)
+	if d := RunOracle(WordBulkRunner{Capacity: 4 * cfg.N}, cfg); d != nil {
+		t.Fatal(d)
+	}
+}
+
+func TestOracleGridGrowBulk(t *testing.T) {
+	cfg := testOracleConfig(t)
+	if d := RunOracle(GrowBulkRunner{Initial: 64}, cfg); d != nil {
+		t.Fatal(d)
+	}
+}
+
+// The bulk kernels must be observationally identical to the per-element
+// path: every bulk grid cell byte-compared against the per-element
+// reference cell (Elements, raw layout, Count). Runs under -tags chaos
+// too, where the staging/probe hot paths are fault-injected.
+func TestOracleCrossPathWordBulk(t *testing.T) {
+	cfg := testOracleConfig(t)
+	if d := RunCrossOracle(WordRunner{Capacity: 4 * cfg.N}, WordBulkRunner{Capacity: 4 * cfg.N}, cfg); d != nil {
+		t.Fatal(d)
+	}
+}
+
+func TestOracleCrossPathGrowBulk(t *testing.T) {
+	cfg := testOracleConfig(t)
+	if d := RunCrossOracle(GrowRunner{Initial: 64}, GrowBulkRunner{Initial: 64}, cfg); d != nil {
+		t.Fatal(d)
+	}
+}
+
 // ndTable is a deliberately broken table: linear probing that claims
 // the first empty cell with no displacement ordering (the classic
 // history-*dependent* layout). The oracle must catch it: its quiescent

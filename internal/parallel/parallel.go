@@ -13,10 +13,7 @@ package parallel
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
-
-	"phasehash/internal/chaos"
 )
 
 // maxProcs is the degree of parallelism used by all loops in this package.
@@ -42,9 +39,25 @@ func SetNumWorkers(n int) int {
 // NumWorkers reports the current worker count.
 func NumWorkers() int { return int(maxProcs.Load()) }
 
-// minGrain is the smallest block size For will create, to keep goroutine
+// minGrain is the smallest block size For will create, to keep dispatch
 // overhead negligible relative to useful work.
 const minGrain = 512
+
+// grainFor is the single source of the package's grain policy: the
+// explicit grain when one is given, otherwise ~8 blocks per worker for
+// load balance, clamped below by minGrain. ForBlocked and makeBlocks
+// (the two places that need it) both call this helper so the policy
+// cannot drift between the loop runtime and the block planner.
+func grainFor(n, p, grain int) int {
+	if grain > 0 {
+		return grain
+	}
+	g := n / (8 * p)
+	if g < minGrain {
+		g = minGrain
+	}
+	return g
+}
 
 // For runs body(i) for every i in [0, n) using up to NumWorkers()
 // goroutines. Iterations are grouped into contiguous blocks; the grain
@@ -67,73 +80,34 @@ func ForGrain(n, grain int, body func(i int)) {
 
 // ForBlocked runs body(lo, hi) over disjoint contiguous blocks covering
 // [0, n). It is the primitive the other loops are built on; use it
-// directly when per-block setup (e.g. a local buffer) matters.
+// directly when per-block setup (e.g. a local buffer) matters. Blocks
+// are claimed dynamically from a shared cursor by the calling goroutine
+// and up to NumWorkers()-1 persistent pool workers (see pool.go), so a
+// dispatch costs a channel send per helper instead of a goroutine spawn
+// per block.
 func ForBlocked(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	p := NumWorkers()
-	if grain <= 0 {
-		// Aim for ~8 blocks per worker for load balance, but never
-		// below minGrain.
-		grain = n / (8 * p)
-		if grain < minGrain {
-			grain = minGrain
-		}
-	}
+	grain = grainFor(n, p, grain)
 	if p == 1 || n <= grain {
 		body(0, n)
 		return
 	}
 	nblocks := (n + grain - 1) / grain
-	if nblocks > 8*p { // cap goroutine count; workers pull block indexes
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(p)
-		for w := 0; w < p; w++ {
-			go func() {
-				defer wg.Done()
-				if chaos.Enabled {
-					chaos.SkewWorker(chaos.SiteParallelWorker)
-				}
-				for {
-					b := int(next.Add(1)) - 1
-					if b >= nblocks {
-						return
-					}
-					lo := b * grain
-					hi := lo + grain
-					if hi > n {
-						hi = n
-					}
-					body(lo, hi)
-				}
-			}()
-		}
-		wg.Wait()
-		return
+	j := &job{n: n, grain: grain, nblocks: nblocks, body: body, done: make(chan struct{})}
+	j.remaining.Store(int64(nblocks))
+	helpers := p - 1
+	if helpers > nblocks-1 {
+		helpers = nblocks - 1
 	}
-	var wg sync.WaitGroup
-	wg.Add(nblocks)
-	for b := 0; b < nblocks; b++ {
-		lo := b * grain
-		hi := lo + grain
-		if hi > n {
-			hi = n
-		}
-		go func(lo, hi int) {
-			defer wg.Done()
-			if chaos.Enabled {
-				chaos.SkewWorker(chaos.SiteParallelWorker)
-			}
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	workers.dispatch(j, helpers)
 }
 
 // Do runs the given functions in parallel and waits for all of them
-// (parallel invoke / spawn-sync).
+// (parallel invoke / spawn-sync). Like every loop here it runs on the
+// persistent pool; any function may execute on any participant.
 func Do(fs ...func()) {
 	if len(fs) == 0 {
 		return
@@ -144,19 +118,7 @@ func Do(fs ...func()) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(fs) - 1)
-	for _, f := range fs[1:] {
-		go func(f func()) {
-			defer wg.Done()
-			if chaos.Enabled {
-				chaos.SkewWorker(chaos.SiteParallelWorker)
-			}
-			f()
-		}(f)
-	}
-	fs[0]()
-	wg.Wait()
+	ForGrain(len(fs), 1, func(i int) { fs[i]() })
 }
 
 // Reduce combines f(i) for i in [0, n) with the associative, commutative
@@ -190,13 +152,9 @@ func Reduce[T any](n int, id T, op func(a, b T) T, f func(i int) T) T {
 type span struct{ lo, hi int }
 
 // makeBlocks splits [0,n) into contiguous spans sized for the current
-// worker count.
+// worker count (same policy as ForBlocked, via grainFor).
 func makeBlocks(n int) []span {
-	p := NumWorkers()
-	grain := n / (8 * p)
-	if grain < minGrain {
-		grain = minGrain
-	}
+	grain := grainFor(n, NumWorkers(), 0)
 	nblocks := (n + grain - 1) / grain
 	blocks := make([]span, 0, nblocks)
 	for lo := 0; lo < n; lo += grain {

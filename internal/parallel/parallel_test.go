@@ -236,6 +236,76 @@ func TestSetNumWorkers(t *testing.T) {
 	}
 }
 
+// The pool must survive nested parallelism: a loop body that itself
+// dispatches loops. Completion is defined by outstanding blocks, not by
+// particular workers, so this must not deadlock even when every pool
+// worker is busy with the outer loop.
+func TestNestedForBlocked(t *testing.T) {
+	old := SetNumWorkers(8)
+	defer SetNumWorkers(old)
+	outer := 16
+	var total atomic.Int64
+	ForGrain(outer, 1, func(i int) {
+		inner := 10000
+		var sum atomic.Int64
+		ForGrain(inner, 64, func(j int) { sum.Add(1) })
+		total.Add(sum.Load())
+	})
+	if got := total.Load(); got != int64(outer*10000) {
+		t.Fatalf("nested loops lost work: %d", got)
+	}
+}
+
+// Repeated small dispatches (the iterative-app shape the pool exists
+// for) must each cover their range exactly once.
+func TestRepeatedDispatchCoverage(t *testing.T) {
+	old := SetNumWorkers(4)
+	defer SetNumWorkers(old)
+	for round := 0; round < 200; round++ {
+		n := 64 + round
+		hits := make([]int32, n)
+		ForGrain(n, 8, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("round %d: index %d ran %d times", round, i, h)
+			}
+		}
+	}
+}
+
+func TestWorkerID(t *testing.T) {
+	old := SetNumWorkers(8)
+	defer SetNumWorkers(old)
+	if id := WorkerID(); id != 0 {
+		t.Fatalf("non-pool goroutine has WorkerID %d, want 0", id)
+	}
+	// Every ID observed inside a loop body must be within
+	// [0, MaxWorkerID()] and per-worker scratch indexed by it must not
+	// lose updates (IDs are stable and distinct per participant).
+	seen := make([]atomic.Int64, 64)
+	ForBlocked(1<<16, 512, func(lo, hi int) {
+		id := WorkerID()
+		if id < 0 || id >= len(seen) {
+			t.Errorf("WorkerID %d out of range", id)
+			return
+		}
+		seen[id].Add(int64(hi - lo))
+	})
+	max := MaxWorkerID()
+	var covered int64
+	for i := range seen {
+		if v := seen[i].Load(); v != 0 {
+			if i > max {
+				t.Fatalf("WorkerID %d exceeds MaxWorkerID %d", i, max)
+			}
+			covered += v
+		}
+	}
+	if covered != 1<<16 {
+		t.Fatalf("scratch indexed by WorkerID covered %d of %d iterations", covered, 1<<16)
+	}
+}
+
 // Determinism: results independent of worker count.
 func TestScanDeterministicAcrossWorkers(t *testing.T) {
 	n := 123457

@@ -57,6 +57,30 @@ func Contains(t Table, e uint64) bool {
 	return ok
 }
 
+// Bulk is the optional bulk-kernel extension of Table: whole-phase
+// operations over element slices (internal/core/bulk.go). Only
+// linearHash-D implements it — the bulk kernels exist to make the
+// deterministic table fast, not to accelerate the comparison baselines,
+// which keep the per-element loop the paper describes for them.
+type Bulk interface {
+	// InsertAll inserts every element (insert phase), returning how many
+	// grew the count.
+	InsertAll(elems []uint64) int
+	// FindAll looks up every key (read phase), returning how many are
+	// present; when dst is non-nil, dst[i] receives the element stored
+	// under keys[i] or 0.
+	FindAll(keys, dst []uint64) int
+	// DeleteAll deletes every key (delete phase), returning how many
+	// were removed.
+	DeleteAll(keys []uint64) int
+}
+
+// AsBulk returns t's bulk extension when it has one.
+func AsBulk(t Table) (Bulk, bool) {
+	b, ok := t.(Bulk)
+	return b, ok
+}
+
 // Kind names a table implementation, using the paper's names.
 type Kind string
 
