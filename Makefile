@@ -3,7 +3,7 @@
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: all build test race lint phasevet fmt fuzz chaos soak install-phasevet benchbase
+.PHONY: all build test race lint phasevet fmt fuzz chaos soak install-phasevet benchbase benchdiff
 
 all: build test lint
 
@@ -50,12 +50,24 @@ soak:
 	go run -tags chaos ./cmd/phload -chaos -soak 2m
 
 # benchbase = regenerate the committed core-benchmark baseline
-# (BENCH_core.json): the bulk-kernel before/after pairs at 1 worker and
-# at GOMAXPROCS, 5 runs each, aggregated to min/mean/max by benchjson.
-# CI runs this non-blocking and uploads the artifact; commit the file
-# when the numbers move for a reason.
+# (BENCH_core.json): the bulk-kernel before/after pairs and the
+# sharded-vs-flat rows, at 1 worker and at max(4, nproc) — the high-p
+# rows oversubscribe GOMAXPROCS on small machines so the baseline
+# always carries a p>=4 row — 5 runs each, aggregated to min/mean/max
+# by benchjson. CI runs this non-blocking, diffs it against the
+# committed baseline (benchdiff) and uploads the artifact; commit the
+# file when the numbers move for a reason.
+BENCHCPUS := $(shell n=$$(nproc); if [ "$$n" -lt 4 ]; then echo 4; else echo $$n; fi)
+BENCHCMD  := go test -run xxx -bench 'PerElement|InsertAll|FindAll|DeleteAll' \
+		-benchmem -count=5 -cpu 1,$(BENCHCPUS) ./internal/core
+
 benchbase:
-	go test -run xxx -bench 'PerElement|InsertAll$$|FindAll$$|DeleteAll$$' \
-		-benchmem -count=5 -cpu 1,$$(nproc) ./internal/core \
-		| go run ./cmd/benchjson > BENCH_core.json
+	$(BENCHCMD) | go run ./cmd/benchjson > BENCH_core.json
 	@echo wrote BENCH_core.json
+
+# benchdiff = run the baseline benchmarks without touching the
+# committed file and report drift against it (GitHub `::warning`
+# annotations beyond 10%; always exits 0).
+benchdiff:
+	$(BENCHCMD) | go run ./cmd/benchjson > /tmp/BENCH_core.new.json
+	go run ./cmd/benchjson -diff BENCH_core.json /tmp/BENCH_core.new.json

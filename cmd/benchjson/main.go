@@ -8,11 +8,21 @@
 // Usage:
 //
 //	go test -bench . -benchmem -count=5 ./internal/core | benchjson > BENCH_core.json
+//
+// With -diff it instead compares two such documents and annotates mean
+// ns/op regressions beyond a threshold (default 10%) in the GitHub
+// Actions `::warning` format. The diff is informational — the exit
+// status is 0 regardless — so CI can surface drift without turning
+// benchmark noise into a blocking failure:
+//
+//	benchjson -diff BENCH_core.json new.json
+//	benchjson -diff -threshold 25 BENCH_core.json new.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -69,6 +79,17 @@ type Doc struct {
 }
 
 func main() {
+	diffMode := flag.Bool("diff", false, "compare two benchjson documents (old new) instead of converting stdin")
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -diff annotations")
+	flag.Parse()
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		diff(flag.Arg(0), flag.Arg(1), *threshold)
+		return
+	}
 	var doc Doc
 	type row struct {
 		ns, bytes, allocs, elems *accum
@@ -162,4 +183,72 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// diff compares two benchjson documents row by row (matched on name)
+// and prints one line per common row: a GitHub Actions `::warning`
+// annotation when the new mean ns/op regressed beyond threshold
+// percent, a plain delta line otherwise. Rows present in only one
+// document are listed but never warned about (new benchmarks appear,
+// retired ones disappear; neither is a regression). Always exits 0.
+func diff(oldPath, newPath string, threshold float64) {
+	oldDoc, err := readDoc(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	newDoc, err := readDoc(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	oldRows := map[string]Result{}
+	for _, r := range oldDoc.Results {
+		oldRows[r.Name] = r
+	}
+	regressions := 0
+	for _, nr := range newDoc.Results {
+		or, ok := oldRows[nr.Name]
+		delete(oldRows, nr.Name)
+		if !ok {
+			fmt.Printf("new row %s: %.0f ns/op (no baseline)\n", nr.Name, nr.NsPerOp.Mean)
+			continue
+		}
+		if or.NsPerOp.Mean <= 0 {
+			continue
+		}
+		pct := (nr.NsPerOp.Mean - or.NsPerOp.Mean) / or.NsPerOp.Mean * 100
+		if pct > threshold {
+			regressions++
+			fmt.Printf("::warning title=benchmark regression::%s: mean %.0f -> %.0f ns/op (%+.1f%%, threshold %.0f%%)\n",
+				nr.Name, or.NsPerOp.Mean, nr.NsPerOp.Mean, pct, threshold)
+		} else {
+			fmt.Printf("%s: mean %.0f -> %.0f ns/op (%+.1f%%)\n",
+				nr.Name, or.NsPerOp.Mean, nr.NsPerOp.Mean, pct)
+		}
+	}
+	var gone []string
+	for name := range oldRows {
+		gone = append(gone, name)
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Printf("removed row %s (was %.0f ns/op)\n", name, oldRows[name].NsPerOp.Mean)
+	}
+	if regressions > 0 {
+		fmt.Printf("%d row(s) regressed beyond %.0f%%\n", regressions, threshold)
+	}
+}
+
+// readDoc parses one benchjson document from disk.
+func readDoc(path string) (Doc, error) {
+	var doc Doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %v", path, err)
+	}
+	return doc, nil
 }

@@ -124,6 +124,35 @@ func init() {
 		"Elements":     {phase: PhaseRead, capture: true},
 		"Count":        {phase: PhaseRead, capture: true},
 	})
+	// Sharded containers. The owner-computes bulk kernels require
+	// exclusive table access for the whole call, which is strictly
+	// stronger than the phase discipline — classifying them with their
+	// phase means every *cross*-phase overlap is still caught; the
+	// same-phase-overlap gap is documented on the types.
+	addFacts(ph, "ShardedSet", map[string]methodFact{
+		"Insert":       {phase: PhaseInsert},
+		"TryInsert":    {phase: PhaseInsert},
+		"InsertAll":    {phase: PhaseInsert},
+		"TryInsertAll": {phase: PhaseInsert},
+		"Delete":       {phase: PhaseDelete},
+		"DeleteAll":    {phase: PhaseDelete},
+		"Contains":     {phase: PhaseRead},
+		"ContainsAll":  {phase: PhaseRead},
+		"Elements":     {phase: PhaseRead, capture: true},
+		"Count":        {phase: PhaseRead, capture: true},
+	})
+	addFacts(ph, "ShardedMap32", map[string]methodFact{
+		"Insert":       {phase: PhaseInsert},
+		"TryInsert":    {phase: PhaseInsert},
+		"InsertAll":    {phase: PhaseInsert},
+		"TryInsertAll": {phase: PhaseInsert},
+		"Delete":       {phase: PhaseDelete},
+		"DeleteAll":    {phase: PhaseDelete},
+		"Find":         {phase: PhaseRead},
+		"FindAll":      {phase: PhaseRead},
+		"Entries":      {phase: PhaseRead, capture: true},
+		"Count":        {phase: PhaseRead, capture: true},
+	})
 	// internal/core tables (generic; looked up by their generic name).
 	addFacts(core, "WordTable", map[string]methodFact{
 		"Insert":        {phase: PhaseInsert},
@@ -154,6 +183,22 @@ func init() {
 		"FindAll":      {phase: PhaseRead},
 		"Elements":     {phase: PhaseRead, capture: true},
 		"Count":        {phase: PhaseRead, capture: true},
+	})
+	addFacts(core, "ShardedTable", map[string]methodFact{
+		"Insert":       {phase: PhaseInsert},
+		"TryInsert":    {phase: PhaseInsert},
+		"InsertAll":    {phase: PhaseInsert},
+		"TryInsertAll": {phase: PhaseInsert},
+		"Delete":       {phase: PhaseDelete},
+		"DeleteAll":    {phase: PhaseDelete},
+		"Find":         {phase: PhaseRead},
+		"FindAll":      {phase: PhaseRead},
+		"Contains":     {phase: PhaseRead},
+		"ContainsAll":  {phase: PhaseRead},
+		"Elements":     {phase: PhaseRead, capture: true},
+		"ElementsInto": {phase: PhaseRead, capture: true},
+		"Count":        {phase: PhaseRead, capture: true},
+		"ForEach":      {phase: PhaseRead},
 	})
 	addFacts(core, "GrowTable", map[string]methodFact{
 		"Insert":       {phase: PhaseInsert},

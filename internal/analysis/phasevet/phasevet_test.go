@@ -34,6 +34,7 @@ func TestCorpus(t *testing.T) {
 		{"wrappers", []string{"mixedphases", "readcapture"}},
 		{"coretab", []string{"mixedphases", "readcapture", "gomix"}},
 		{"bulk", []string{"mixedphases", "gomix"}},
+		{"sharded", []string{"mixedphases", "gomix"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.pkg, func(t *testing.T) {

@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Sentinel errors returned by the tables' TryInsert methods (and
 // re-exported by package phasehash). Match with errors.Is: concrete
@@ -20,3 +23,9 @@ var (
 	// key (0 for word tables; ⊥ in the paper).
 	ErrReservedKey = errors.New("phasehash: reserved key")
 )
+
+// reservedErr builds the ErrReservedKey report for the reserved empty
+// word element, shared by the atomic and serial insert paths.
+func reservedErr() error {
+	return fmt.Errorf("%w: %#x is the reserved empty element", ErrReservedKey, Empty)
+}

@@ -264,6 +264,18 @@ func (t *PtrTable[T, O]) Elements() []*T {
 	return parallel.Pack(ptrs, func(i int) bool { return ptrs[i] != nil })
 }
 
+// ElementsInto packs the stored elements into dst and returns the
+// number packed (find/elements phase only). As for WordTable, the
+// contract is on dst's *length*, not its capacity: len(dst) >= Count()
+// is required, and a shorter dst panics with an index-out-of-range when
+// the pack reaches the end of it.
+func (t *PtrTable[T, O]) ElementsInto(dst []*T) int {
+	n := len(t.cells)
+	ptrs := make([]*T, n)
+	parallel.For(n, func(i int) { ptrs[i] = t.cells[i].Load() })
+	return parallel.PackInto(dst, ptrs, func(i int) bool { return ptrs[i] != nil })
+}
+
 // Count returns the number of stored elements (find/elements phase only).
 func (t *PtrTable[T, O]) Count() int {
 	return parallel.Count(len(t.cells), func(i int) bool { return t.cells[i].Load() != nil })

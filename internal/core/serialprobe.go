@@ -1,0 +1,194 @@
+package core
+
+// This file holds the non-atomic serial probe loops of WordTable: the
+// same linear-probing algorithms as the exported phase-concurrent
+// operations, with plain loads and stores instead of atomic loads and
+// CASes. They exist for the owner-computes path of ShardedTable
+// (sharded.go): after a radix partition, exactly one worker streams one
+// shard, so no cross-worker conflict is possible and the CAS retry
+// machinery — and its cost on duplicate-heavy distributions, where many
+// inserts hammer one home cell — evaporates.
+//
+// History independence makes the substitution sound: the quiescent
+// layout of a linear-probed priority table is a pure function of the
+// element set (paper, Theorem 1 territory), so a sequential replay of a
+// shard's operation run lands in exactly the cell state any concurrent
+// schedule of the same run would reach. The detres cross-oracle
+// (ShardedRunner vs ShardedBulkRunner) enforces this byte-for-byte.
+//
+// These methods must only be called while the caller holds exclusive
+// access to the table (or shard): they are deliberately not in the
+// phasevet fact table because they are unexported and never visible to
+// API users.
+
+// insertSerial is insertLoopFrom with plain memory operations: walk the
+// probe sequence, displace lower-priority elements, merge equal keys.
+// full reports a whole-array sweep, exactly like insertLoop.
+func (t *WordTable[O]) insertSerial(v uint64) (added, full bool) {
+	i := t.home(v)
+	limit := i + len(t.cells)
+	for {
+		if i >= limit {
+			return false, true
+		}
+		c := t.cells[i&t.mask]
+		switch {
+		case c == Empty:
+			t.cells[i&t.mask] = v
+			return true, false
+		default:
+			cmp := t.ops.Cmp(c, v)
+			switch {
+			case cmp == 0:
+				if merged := t.ops.Merge(c, v); merged != c {
+					t.cells[i&t.mask] = merged
+				}
+				return false, false
+			case cmp > 0: // cell has higher priority; keep probing
+				i++
+			default: // v has higher priority; swap in, carry c forward
+				t.cells[i&t.mask] = v
+				v = c
+				i++
+			}
+		}
+	}
+}
+
+// findSerial is findFrom with plain loads.
+func (t *WordTable[O]) findSerial(v uint64) (uint64, bool) {
+	i := t.home(v)
+	for {
+		c := t.cells[i&t.mask]
+		if c == Empty {
+			return Empty, false
+		}
+		cmp := t.ops.Cmp(v, c)
+		if cmp > 0 {
+			return Empty, false
+		}
+		if cmp == 0 {
+			return c, true
+		}
+		i++
+	}
+}
+
+// deleteSerial is deleteFrom with plain memory operations. The
+// concurrent version's re-scans (the downward pass of findReplacement,
+// the k-- retreat on CAS failure) exist only to chase concurrent
+// deletes; with exclusive access the hole-filling recursion is direct:
+// find the victim, pull the closest following element that hashes at or
+// before it into the hole, and repeat on the copy it left behind.
+func (t *WordTable[O]) deleteSerial(v uint64) bool {
+	k := t.home(v)
+	for {
+		c := t.cells[k&t.mask]
+		if c == Empty || t.ops.Cmp(v, c) >= 0 {
+			break
+		}
+		k++
+	}
+	for {
+		c := t.cells[k&t.mask]
+		if c == Empty || t.ops.Cmp(v, c) != 0 {
+			return false
+		}
+		j, w := t.findReplacementSerial(k)
+		t.cells[k&t.mask] = w
+		if w == Empty {
+			return true
+		}
+		// Two copies of w exist now; delete the original at j. The loop
+		// re-enters with v = w already matching cells[j].
+		v = w
+		k = j
+	}
+}
+
+// findReplacementSerial is findReplacement's upward scan with plain
+// loads; the downward re-scan is unnecessary without concurrent deletes
+// (the upward scan already stops at the *first* eligible position).
+func (t *WordTable[O]) findReplacementSerial(i int) (int, uint64) {
+	j := i
+	for {
+		j++
+		w := t.cells[j&t.mask]
+		if w == Empty || t.lift(t.ops.Hash(w)&uint64(t.mask), j) <= i {
+			return j, w
+		}
+	}
+}
+
+// insertRangeSerial drives insertSerial over a contiguous run of
+// elements (one shard's partition run). full returns the index within
+// elems of a saturating element, or -1; reserved elements panic exactly
+// as Insert does.
+func (t *WordTable[O]) insertRangeSerial(elems []uint64) (added, full int) {
+	for i, v := range elems {
+		if v == Empty {
+			panic("core: WordTable: cannot insert the reserved empty element")
+		}
+		a, f := t.insertSerial(v)
+		if f {
+			return added, i
+		}
+		if a {
+			added++
+		}
+	}
+	return added, -1
+}
+
+// tryInsertRangeSerial is insertRangeSerial with TryInsert semantics:
+// every element is attempted (duplicate keys can still merge into a
+// saturated shard), and the first error is reported.
+func (t *WordTable[O]) tryInsertRangeSerial(elems []uint64) (added int, err error) {
+	for _, v := range elems {
+		if v == Empty {
+			if err == nil {
+				err = reservedErr()
+			}
+			continue
+		}
+		a, f := t.insertSerial(v)
+		if f {
+			if err == nil {
+				err = t.fullErr()
+			}
+			continue
+		}
+		if a {
+			added++
+		}
+	}
+	return added, err
+}
+
+// findRangeSerial counts how many of the keys are present; when dst is
+// non-nil, dst[i] receives the stored element for keys[i] or Empty.
+func (t *WordTable[O]) findRangeSerial(keys, dst []uint64) int {
+	n := 0
+	for i, v := range keys {
+		e, ok := t.findSerial(v)
+		if ok {
+			n++
+		}
+		if dst != nil {
+			dst[i] = e
+		}
+	}
+	return n
+}
+
+// deleteRangeSerial deletes every key of the run, returning how many
+// were present.
+func (t *WordTable[O]) deleteRangeSerial(keys []uint64) int {
+	n := 0
+	for _, v := range keys {
+		if t.deleteSerial(v) {
+			n++
+		}
+	}
+	return n
+}

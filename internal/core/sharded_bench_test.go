@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"phasehash/internal/hashx"
+)
+
+// Sharded-vs-flat benchmarks over the same operation phases as
+// bulk_bench_test.go: the flat rows there (InsertAll / FindAll /
+// DeleteAll) are the baseline these Sharded* rows are compared against
+// in BENCH_core.json, on two distributions — the uniform randomSeq-int
+// keys of bulkBenchKeys and a duplicate-heavy draw (~64 copies per
+// distinct key) where the flat kernels pile probes onto few hot homes.
+// Shard count is pinned (not auto) so the benchmark is identical at
+// every -cpu value.
+
+const shardedBenchShards = 32
+
+// dupBenchKeys draws bulkBenchN keys uniformly from a 2^17-key universe
+// (~8 duplicates each), spread over the hash space by an odd-constant
+// multiply so distinct keys stay distinct and nonzero. The universe is
+// sized to overflow cache (2^17 distinct homes over a 32MB backing
+// array) while every operation after the first per key is a duplicate.
+func dupBenchKeys() []uint64 {
+	keys := make([]uint64, bulkBenchN)
+	for i := range keys {
+		keys[i] = (hashx.At(7, i)%(1<<17))*0x9e3779b97f4a7c15 + 1
+	}
+	return keys
+}
+
+func BenchmarkShardedInsertAll(b *testing.B) {
+	keys := bulkBenchKeys()
+	withBenchWorkers(b, func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t := NewShardedTable[SetOps](4*bulkBenchN, shardedBenchShards)
+			t.InsertAll(keys)
+		}
+	})
+	b.ReportMetric(float64(bulkBenchN), "elems/op")
+}
+
+func BenchmarkShardedFindAll(b *testing.B) {
+	keys := bulkBenchKeys()
+	t := NewShardedTable[SetOps](4*bulkBenchN, shardedBenchShards)
+	t.InsertAll(keys)
+	withBenchWorkers(b, func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.FindAll(keys, nil)
+		}
+	})
+	b.ReportMetric(float64(bulkBenchN), "elems/op")
+}
+
+func BenchmarkShardedDeleteAll(b *testing.B) {
+	keys := bulkBenchKeys()
+	withBenchWorkers(b, func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			t := NewShardedTable[SetOps](4*bulkBenchN, shardedBenchShards)
+			t.InsertAll(keys)
+			b.StartTimer()
+			t.DeleteAll(keys)
+		}
+	})
+	b.ReportMetric(float64(bulkBenchN), "elems/op")
+}
+
+func BenchmarkInsertAllDup(b *testing.B) {
+	keys := dupBenchKeys()
+	withBenchWorkers(b, func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t := NewWordTable[SetOps](4 * bulkBenchN)
+			t.InsertAll(keys)
+		}
+	})
+	b.ReportMetric(float64(bulkBenchN), "elems/op")
+}
+
+func BenchmarkShardedInsertAllDup(b *testing.B) {
+	keys := dupBenchKeys()
+	withBenchWorkers(b, func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t := NewShardedTable[SetOps](4*bulkBenchN, shardedBenchShards)
+			t.InsertAll(keys)
+		}
+	})
+	b.ReportMetric(float64(bulkBenchN), "elems/op")
+}
+
+func BenchmarkDeleteAllDup(b *testing.B) {
+	keys := dupBenchKeys()
+	withBenchWorkers(b, func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			t := NewWordTable[SetOps](4 * bulkBenchN)
+			t.InsertAll(keys)
+			b.StartTimer()
+			t.DeleteAll(keys)
+		}
+	})
+	b.ReportMetric(float64(bulkBenchN), "elems/op")
+}
+
+func BenchmarkShardedDeleteAllDup(b *testing.B) {
+	keys := dupBenchKeys()
+	withBenchWorkers(b, func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			t := NewShardedTable[SetOps](4*bulkBenchN, shardedBenchShards)
+			t.InsertAll(keys)
+			b.StartTimer()
+			t.DeleteAll(keys)
+		}
+	})
+	b.ReportMetric(float64(bulkBenchN), "elems/op")
+}

@@ -90,7 +90,7 @@ func (t *WordTable[O]) Insert(v uint64) bool {
 // backing array. Both satisfy errors.Is against the package sentinels.
 func (t *WordTable[O]) TryInsert(v uint64) (bool, error) {
 	if v == Empty {
-		return false, fmt.Errorf("%w: %#x is the reserved empty element", ErrReservedKey, Empty)
+		return false, reservedErr()
 	}
 	added, full := t.insertLoop(v)
 	if full {
@@ -360,8 +360,10 @@ func (t *WordTable[O]) Elements() []uint64 {
 	return parallel.Pack(t.cells, func(i int) bool { return t.cells[i] != Empty })
 }
 
-// ElementsInto packs the non-empty cells into dst (which must have
-// capacity len(dst) >= Count()) and returns the number packed.
+// ElementsInto packs the non-empty cells into dst and returns the
+// number packed. The contract is on dst's *length*, not its capacity:
+// len(dst) >= Count() is required, and a shorter dst panics with an
+// index-out-of-range when the pack reaches the end of it.
 func (t *WordTable[O]) ElementsInto(dst []uint64) int {
 	return parallel.PackInto(dst, t.cells, func(i int) bool { return t.cells[i] != Empty })
 }
@@ -374,15 +376,18 @@ func (t *WordTable[O]) Count() int {
 
 // CountAtomic is Count with atomic cell reads: safe to call while
 // another phase is mutating the table (used by the resizing extension's
-// migration bookkeeping; the result is a racy snapshot).
+// migration bookkeeping and by fullErr's saturation report; the result
+// is a racy snapshot). It is a blocked parallel reduce, so the O(m)
+// scan no longer serializes GrowTable's drain loop on large tables.
 func (t *WordTable[O]) CountAtomic() int {
-	n := 0
-	for i := range t.cells {
-		if atomic.LoadUint64(&t.cells[i]) != Empty {
-			n++
-		}
-	}
-	return n
+	return parallel.Reduce(len(t.cells), 0,
+		func(a, b int) int { return a + b },
+		func(i int) int {
+			if atomic.LoadUint64(&t.cells[i]) != Empty {
+				return 1
+			}
+			return 0
+		})
 }
 
 // ForEach calls fn for every stored element in table order (sequential;

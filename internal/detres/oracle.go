@@ -2,6 +2,7 @@ package detres
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -114,6 +115,46 @@ func everyThird(elems []uint64) []uint64 {
 		del = append(del, elems[i])
 	}
 	return del
+}
+
+// ShardedRunner replays through ShardedTable's per-element atomic path.
+// Shards is the explicit shard count and is part of the determinism
+// function (layout and Elements order depend on it), so the oracle
+// always pins it — the automatic policy would derive it from the
+// per-cell worker count and legitimately change the layout across the
+// grid.
+type ShardedRunner struct{ Capacity, Shards int }
+
+// Name implements Runner.
+func (r ShardedRunner) Name() string { return "sharded" }
+
+// Run implements Runner.
+func (r ShardedRunner) Run(elems []uint64, workers int) OracleResult {
+	t := core.NewShardedTable[core.SetOps](r.Capacity, r.Shards)
+	replayPhases(len(elems), workers,
+		func(i int) { t.Insert(elems[i]) },
+		func(i int) { t.Delete(elems[i]) })
+	return OracleResult{Elements: t.Elements(), Layout: t.Snapshot(), Count: t.Count()}
+}
+
+// ShardedBulkRunner replays the workload through ShardedTable's
+// owner-computes bulk kernels (radix partition, then one worker per
+// shard with plain stores). Its operation set per phase matches
+// ShardedRunner's, so — history independence again — its quiescent
+// shard layouts must be byte-identical across the grid and against
+// ShardedRunner's (RunCrossOracle), and its Elements multiset must
+// equal the flat WordRunner's on the same workload (RunMultisetOracle).
+type ShardedBulkRunner struct{ Capacity, Shards int }
+
+// Name implements Runner.
+func (r ShardedBulkRunner) Name() string { return "sharded-bulk" }
+
+// Run implements Runner.
+func (r ShardedBulkRunner) Run(elems []uint64, workers int) OracleResult {
+	t := core.NewShardedTable[core.SetOps](r.Capacity, r.Shards)
+	t.InsertAll(elems)
+	t.DeleteAll(everyThird(elems))
+	return OracleResult{Elements: t.Elements(), Layout: t.Snapshot(), Count: t.Count()}
 }
 
 // GrowRunner replays on a GrowTable[SetOps], covering the migration
@@ -308,6 +349,72 @@ func RunCrossOracle(a, b Runner, cfg OracleConfig) *Divergence {
 		}
 	}
 	return nil
+}
+
+// RunMultisetOracle asserts two runners store the same element *set*
+// without requiring the same layout: every grid cell of b must match
+// a's reference cell on Count and on the sorted Elements multiset. It
+// is the oracle row relating differently-shaped deterministic tables —
+// e.g. the flat WordRunner against a ShardedBulkRunner, whose layouts
+// and Elements orders legitimately differ (the shard count is part of
+// the layout function) while the contents must not.
+func RunMultisetOracle(a, b Runner, cfg OracleConfig) *Divergence {
+	if len(cfg.Dists) == 0 {
+		cfg.Dists = sequence.AllDistributions
+	}
+	prevWorkers := parallel.SetNumWorkers(0)
+	defer func() {
+		parallel.SetNumWorkers(prevWorkers)
+		chaos.Disable()
+	}()
+	for _, dist := range cfg.Dists {
+		for _, seed := range cfg.Seeds {
+			elems := OracleWorkload(dist, cfg.N, seed)
+			ref := runCell(a, elems, cfg.Workers[0], cfg.Profiles[0], seed)
+			sortedRef := append([]uint64(nil), ref.Elements...)
+			sort.Slice(sortedRef, func(i, j int) bool { return sortedRef[i] < sortedRef[j] })
+			for _, prof := range cfg.Profiles {
+				for _, w := range cfg.Workers {
+					res := runCell(b, elems, w, prof, seed)
+					if detail := compareMultisets(ref.Count, sortedRef, res); detail != "" {
+						return &Divergence{
+							Runner:     a.Name() + " vs " + b.Name() + " (multiset)",
+							Dist:       dist,
+							Seed:       seed,
+							N:          cfg.N,
+							MinN:       cfg.N,
+							Workers:    w,
+							Profile:    prof.Name,
+							RefWorkers: cfg.Workers[0],
+							RefProfile: cfg.Profiles[0].Name,
+							Detail:     detail,
+							SiteTrace:  chaos.TraceSummary(),
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// compareMultisets returns "" when res holds exactly the sortedRef
+// multiset (and refCount elements), or the first difference.
+func compareMultisets(refCount int, sortedRef []uint64, res OracleResult) string {
+	if refCount != res.Count {
+		return fmt.Sprintf("Count %d vs %d", refCount, res.Count)
+	}
+	if len(sortedRef) != len(res.Elements) {
+		return fmt.Sprintf("len(Elements) %d vs %d", len(sortedRef), len(res.Elements))
+	}
+	got := append([]uint64(nil), res.Elements...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i := range sortedRef {
+		if sortedRef[i] != got[i] {
+			return fmt.Sprintf("sorted Elements[%d] = %#x vs %#x", i, sortedRef[i], got[i])
+		}
+	}
+	return ""
 }
 
 // runCell executes one grid cell: arm the fault profile (seeded with

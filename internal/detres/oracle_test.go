@@ -83,6 +83,48 @@ func TestOracleCrossPathGrowBulk(t *testing.T) {
 	}
 }
 
+func TestOracleGridSharded(t *testing.T) {
+	cfg := testOracleConfig(t)
+	if d := RunOracle(ShardedRunner{Capacity: 4 * cfg.N, Shards: 8}, cfg); d != nil {
+		t.Fatal(d)
+	}
+}
+
+func TestOracleGridShardedBulk(t *testing.T) {
+	cfg := testOracleConfig(t)
+	if d := RunOracle(ShardedBulkRunner{Capacity: 4 * cfg.N, Shards: 8}, cfg); d != nil {
+		t.Fatal(d)
+	}
+}
+
+// The sharded owner-computes kernels must leave byte-identical shard
+// layouts to the per-element atomic path on the same shard count —
+// the serial plain-store replay is substitutable for the CAS loops
+// precisely because the layout is history-independent. Runs under
+// -tags chaos too (the per-element reference path is fault-injected;
+// the serial kernels have no CAS to perturb).
+func TestOracleCrossPathShardedBulk(t *testing.T) {
+	cfg := testOracleConfig(t)
+	a := ShardedRunner{Capacity: 4 * cfg.N, Shards: 8}
+	b := ShardedBulkRunner{Capacity: 4 * cfg.N, Shards: 8}
+	if d := RunCrossOracle(a, b, cfg); d != nil {
+		t.Fatal(d)
+	}
+}
+
+// The sharded table stores elements in a different (still
+// deterministic) order than the flat table, so the flat-vs-sharded
+// relation is multiset equality of Elements plus equal Count — checked
+// for the bulk kernels across the whole grid.
+func TestOracleShardedMatchesFlatMultiset(t *testing.T) {
+	cfg := testOracleConfig(t)
+	a := WordRunner{Capacity: 4 * cfg.N}
+	b := ShardedBulkRunner{Capacity: 4 * cfg.N, Shards: 8}
+	if d := RunMultisetOracle(a, b, cfg); d != nil {
+		t.Fatal(d)
+	}
+}
+
 // ndTable is a deliberately broken table: linear probing that claims
 // the first empty cell with no displacement ordering (the classic
 // history-*dependent* layout). The oracle must catch it: its quiescent

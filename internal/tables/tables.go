@@ -59,9 +59,11 @@ func Contains(t Table, e uint64) bool {
 
 // Bulk is the optional bulk-kernel extension of Table: whole-phase
 // operations over element slices (internal/core/bulk.go). Only
-// linearHash-D implements it — the bulk kernels exist to make the
-// deterministic table fast, not to accelerate the comparison baselines,
-// which keep the per-element loop the paper describes for them.
+// linearHash-D and linearHash-D-sharded implement it — the bulk kernels
+// exist to make the deterministic table fast, not to accelerate the
+// comparison baselines, which keep the per-element loop the paper
+// describes for them. Note the sharded table's kernels require
+// exclusive table access for the whole call (core.ShardedTable).
 type Bulk interface {
 	// InsertAll inserts every element (insert phase), returning how many
 	// grew the count.
@@ -84,30 +86,38 @@ func AsBulk(t Table) (Bulk, bool) {
 // Kind names a table implementation, using the paper's names.
 type Kind string
 
-// The table kinds of the paper's Section 6.
+// The table kinds of the paper's Section 6, plus this repo's
+// radix-partitioned variant of the deterministic table.
 const (
-	LinearD     Kind = "linearHash-D"
-	LinearND    Kind = "linearHash-ND"
-	Cuckoo      Kind = "cuckooHash"
-	Chained     Kind = "chainedHash"
-	ChainedCR   Kind = "chainedHash-CR"
-	Hopscotch   Kind = "hopscotchHash"
-	HopscotchPC Kind = "hopscotchHash-PC"
-	SerialHI    Kind = "serialHash-HI"
-	SerialHD    Kind = "serialHash-HD"
+	LinearD Kind = "linearHash-D"
+	// LinearDSharded is linearHash-D split into radix-selected shards
+	// with owner-computes bulk kernels (core.ShardedTable). Its layout
+	// is deterministic for a fixed shard count; the constructor here
+	// uses the automatic policy, which derives the count from the
+	// worker count at construction time.
+	LinearDSharded Kind = "linearHash-D-sharded"
+	LinearND       Kind = "linearHash-ND"
+	Cuckoo         Kind = "cuckooHash"
+	Chained        Kind = "chainedHash"
+	ChainedCR      Kind = "chainedHash-CR"
+	Hopscotch      Kind = "hopscotchHash"
+	HopscotchPC    Kind = "hopscotchHash-PC"
+	SerialHI       Kind = "serialHash-HI"
+	SerialHD       Kind = "serialHash-HD"
 )
 
 // Kinds lists all table kinds in the paper's presentation order.
 var Kinds = []Kind{
 	SerialHI, SerialHD,
-	LinearD, LinearND, Cuckoo,
+	LinearD, LinearDSharded, LinearND, Cuckoo,
 	Chained, ChainedCR,
 	Hopscotch, HopscotchPC,
 }
 
 // ParallelKinds lists the concurrent/phase-concurrent kinds.
 var ParallelKinds = []Kind{
-	LinearD, LinearND, Cuckoo, Chained, ChainedCR, Hopscotch, HopscotchPC,
+	LinearD, LinearDSharded, LinearND, Cuckoo, Chained, ChainedCR,
+	Hopscotch, HopscotchPC,
 }
 
 // New constructs a table of the given kind with the given capacity and
@@ -116,6 +126,8 @@ func New[O core.Ops](kind Kind, size int) (Table, error) {
 	switch kind {
 	case LinearD:
 		return core.NewWordTable[O](size), nil
+	case LinearDSharded:
+		return core.NewShardedTable[O](size, 0), nil
 	case LinearND:
 		return NewLinearND[O](size), nil
 	case Cuckoo:
@@ -162,5 +174,9 @@ func SizeFor(kind Kind, capacity int) int {
 func (k Kind) IsSerial() bool { return k == SerialHI || k == SerialHD }
 
 // IsDeterministic reports whether the table's quiescent layout is
-// independent of operation order.
-func (k Kind) IsDeterministic() bool { return k == LinearD || k == SerialHI }
+// independent of operation order. For LinearDSharded this holds per
+// shard count: tables constructed with different shard counts store
+// the same set in different (each deterministic) orders.
+func (k Kind) IsDeterministic() bool {
+	return k == LinearD || k == LinearDSharded || k == SerialHI
+}
