@@ -3,7 +3,7 @@
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: all build test race lint phasevet fmt fuzz chaos soak install-phasevet benchbase benchdiff
+.PHONY: all build test race lint phasevet fmt fuzz chaos soak install-phasevet benchbase benchdiff obs obs-sizecheck obs-overhead obs-soak
 
 all: build test lint
 
@@ -71,3 +71,41 @@ benchbase:
 benchdiff:
 	$(BENCHCMD) | go run ./cmd/benchjson > /tmp/BENCH_core.new.json
 	go run ./cmd/benchjson -diff BENCH_core.json /tmp/BENCH_core.new.json
+
+# obs = the phasestats telemetry gate CI blocks on: the whole test
+# suite with instrumentation live (counter/histogram/span assertions,
+# the detres op-count determinism grid) plus the zero-cost-off proofs
+# below.
+obs: obs-sizecheck
+	go test -tags obs ./...
+
+# obs-sizecheck = prove the untagged build carries no telemetry: the
+# obs.Record* hooks must be dead-code-eliminated from a binary built
+# without the tag (and present with it, so the check cannot pass
+# vacuously).
+obs-sizecheck:
+	@go build -o /tmp/phbench-noobs ./cmd/phbench
+	@if go tool nm /tmp/phbench-noobs | grep 'internal/obs\.Record' >/dev/null; then \
+		echo "obs-sizecheck: untagged phbench still contains obs.Record* symbols"; exit 1; fi
+	@go build -tags obs -o /tmp/phbench-obs ./cmd/phbench
+	@if ! go tool nm /tmp/phbench-obs | grep 'internal/obs\.Record' >/dev/null; then \
+		echo "obs-sizecheck: -tags obs phbench has no obs.Record* symbols (positive control failed)"; exit 1; fi
+	@echo "obs-sizecheck: ok (no Record* symbols without the tag, present with it)"
+
+# obs-overhead = the no-op overhead gate: the untagged build of the
+# 2^20-key uniform insert benchmark must stay within 1% of the
+# committed BENCH_core.json baseline even though the hot loops now
+# carry (const-folded) telemetry hooks. Run on quiet hardware; CI
+# blocks on it.
+OBSBENCHCMD := go test -run xxx -bench 'InsertAll$$' -benchmem -count=5 -cpu 1 ./internal/core
+
+obs-overhead:
+	$(OBSBENCHCMD) | go run ./cmd/benchjson > /tmp/BENCH_obs_off.json
+	go run ./cmd/benchjson -diff -fail -threshold 1 BENCH_core.json /tmp/BENCH_obs_off.json
+
+# obs-soak = a chaos soak with live telemetry: watch
+# http://localhost:6060/debug/phasestats while it runs, or pull a
+# profile from /debug/pprof. See README "Observability" for the
+# go tool trace walkthrough.
+obs-soak:
+	go run -tags 'chaos obs' ./cmd/phload -chaos -soak 2m -obs localhost:6060

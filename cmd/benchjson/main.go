@@ -11,12 +11,15 @@
 //
 // With -diff it instead compares two such documents and annotates mean
 // ns/op regressions beyond a threshold (default 10%) in the GitHub
-// Actions `::warning` format. The diff is informational — the exit
-// status is 0 regardless — so CI can surface drift without turning
-// benchmark noise into a blocking failure:
+// Actions `::warning` format. The diff is informational by default —
+// the exit status is 0 regardless — so CI can surface drift without
+// turning benchmark noise into a blocking failure; add -fail to exit 1
+// on any regression beyond the threshold (used by the no-op-overhead
+// observability gate, where the threshold is a contract, not noise):
 //
 //	benchjson -diff BENCH_core.json new.json
 //	benchjson -diff -threshold 25 BENCH_core.json new.json
+//	benchjson -diff -fail -threshold 1 BENCH_core.json off_build.json
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -40,6 +44,13 @@ type Result struct {
 	BytesOp    *Stat   `json:"bytes_per_op,omitempty"`
 	AllocsOp   *Stat   `json:"allocs_per_op,omitempty"`
 	ElemsPerOp float64 `json:"elems_per_op,omitempty"`
+
+	// Telemetry metrics reported by -tags obs benchmark runs
+	// (b.ReportMetric in internal/core): mean and p99 probe length and
+	// CAS retries, all per operation. Absent from untagged baselines.
+	ProbesPerOp    float64 `json:"probes_per_op,omitempty"`
+	P99ProbesPerOp float64 `json:"p99_probes_per_op,omitempty"`
+	CASRetryPerOp  float64 `json:"cas_retry_per_op,omitempty"`
 }
 
 // Stat is a min/mean/max summary over the runs.
@@ -54,6 +65,9 @@ type accum struct{ vals []float64 }
 func (a *accum) add(v float64) { a.vals = append(a.vals, v) }
 
 func (a *accum) stat() Stat {
+	if len(a.vals) == 0 {
+		return Stat{}
+	}
 	s := Stat{Min: a.vals[0], Max: a.vals[0]}
 	sum := 0.0
 	for _, v := range a.vals {
@@ -81,18 +95,22 @@ type Doc struct {
 func main() {
 	diffMode := flag.Bool("diff", false, "compare two benchjson documents (old new) instead of converting stdin")
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -diff annotations")
+	failOnRegress := flag.Bool("fail", false, "with -diff: exit 1 when any row regresses beyond the threshold (default is informational, always exit 0)")
 	flag.Parse()
 	if *diffMode {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two arguments: old.json new.json")
 			os.Exit(2)
 		}
-		diff(flag.Arg(0), flag.Arg(1), *threshold)
+		if regressions := diff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold); regressions > 0 && *failOnRegress {
+			os.Exit(1)
+		}
 		return
 	}
 	var doc Doc
 	type row struct {
-		ns, bytes, allocs, elems *accum
+		ns, bytes, allocs, elems    *accum
+		probes, p99probes, casretry *accum
 	}
 	rows := map[string]*row{}
 	var order []string
@@ -128,7 +146,10 @@ func main() {
 		}
 		r := rows[name]
 		if r == nil {
-			r = &row{ns: &accum{}, bytes: &accum{}, allocs: &accum{}, elems: &accum{}}
+			r = &row{
+				ns: &accum{}, bytes: &accum{}, allocs: &accum{}, elems: &accum{},
+				probes: &accum{}, p99probes: &accum{}, casretry: &accum{},
+			}
 			rows[name] = r
 			order = append(order, name)
 		}
@@ -147,6 +168,12 @@ func main() {
 				r.allocs.add(v)
 			case "elems/op":
 				r.elems.add(v)
+			case "probes/op":
+				r.probes.add(v)
+			case "p99probes/op":
+				r.p99probes.add(v)
+			case "casretry/op":
+				r.casretry.add(v)
 			}
 		}
 	}
@@ -174,6 +201,15 @@ func main() {
 		if len(r.elems.vals) > 0 {
 			res.ElemsPerOp = r.elems.stat().Mean
 		}
+		if len(r.probes.vals) > 0 {
+			res.ProbesPerOp = r.probes.stat().Mean
+		}
+		if len(r.p99probes.vals) > 0 {
+			res.P99ProbesPerOp = r.p99probes.stat().Mean
+		}
+		if len(r.casretry.vals) > 0 {
+			res.CASRetryPerOp = r.casretry.stat().Mean
+		}
 		doc.Results = append(doc.Results, res)
 	}
 
@@ -190,8 +226,10 @@ func main() {
 // annotation when the new mean ns/op regressed beyond threshold
 // percent, a plain delta line otherwise. Rows present in only one
 // document are listed but never warned about (new benchmarks appear,
-// retired ones disappear; neither is a regression). Always exits 0.
-func diff(oldPath, newPath string, threshold float64) {
+// retired ones disappear; neither is a regression). Returns the number
+// of rows that regressed beyond the threshold; the caller decides
+// whether that fails the run (-fail) or stays informational.
+func diff(w io.Writer, oldPath, newPath string, threshold float64) int {
 	oldDoc, err := readDoc(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -211,19 +249,26 @@ func diff(oldPath, newPath string, threshold float64) {
 		or, ok := oldRows[nr.Name]
 		delete(oldRows, nr.Name)
 		if !ok {
-			fmt.Printf("new row %s: %.0f ns/op (no baseline)\n", nr.Name, nr.NsPerOp.Mean)
+			fmt.Fprintf(w, "new row %s: %.0f ns/op (no baseline)\n", nr.Name, nr.NsPerOp.Mean)
 			continue
 		}
 		if or.NsPerOp.Mean <= 0 {
+			// A degenerate baseline row (zero or missing mean — e.g. a
+			// truncated run, or a name that never produced ns/op) has no
+			// meaningful delta. Note it rather than dividing by it.
+			fmt.Fprintf(w, "skipped row %s: baseline mean is %.0f ns/op\n", nr.Name, or.NsPerOp.Mean)
 			continue
 		}
 		pct := (nr.NsPerOp.Mean - or.NsPerOp.Mean) / or.NsPerOp.Mean * 100
 		if pct > threshold {
 			regressions++
-			fmt.Printf("::warning title=benchmark regression::%s: mean %.0f -> %.0f ns/op (%+.1f%%, threshold %.0f%%)\n",
-				nr.Name, or.NsPerOp.Mean, nr.NsPerOp.Mean, pct, threshold)
+			// The percent delta goes in the annotation *title* so the
+			// Actions UI summary line carries the magnitude without
+			// expanding the message.
+			fmt.Fprintf(w, "::warning title=benchmark regression (%+.1f%%)::%s: mean %.0f -> %.0f ns/op (threshold %.0f%%)\n",
+				pct, nr.Name, or.NsPerOp.Mean, nr.NsPerOp.Mean, threshold)
 		} else {
-			fmt.Printf("%s: mean %.0f -> %.0f ns/op (%+.1f%%)\n",
+			fmt.Fprintf(w, "%s: mean %.0f -> %.0f ns/op (%+.1f%%)\n",
 				nr.Name, or.NsPerOp.Mean, nr.NsPerOp.Mean, pct)
 		}
 	}
@@ -233,11 +278,12 @@ func diff(oldPath, newPath string, threshold float64) {
 	}
 	sort.Strings(gone)
 	for _, name := range gone {
-		fmt.Printf("removed row %s (was %.0f ns/op)\n", name, oldRows[name].NsPerOp.Mean)
+		fmt.Fprintf(w, "removed row %s (was %.0f ns/op)\n", name, oldRows[name].NsPerOp.Mean)
 	}
 	if regressions > 0 {
-		fmt.Printf("%d row(s) regressed beyond %.0f%%\n", regressions, threshold)
+		fmt.Fprintf(w, "%d row(s) regressed beyond %.0f%%\n", regressions, threshold)
 	}
+	return regressions
 }
 
 // readDoc parses one benchjson document from disk.

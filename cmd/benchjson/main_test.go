@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name string, doc Doc) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffWarningTitleCarriesPercent(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", Doc{Results: []Result{
+		{Name: "InsertAll", NsPerOp: Stat{Mean: 100}},
+		{Name: "FindAll", NsPerOp: Stat{Mean: 100}},
+	}})
+	newPath := writeDoc(t, dir, "new.json", Doc{Results: []Result{
+		{Name: "InsertAll", NsPerOp: Stat{Mean: 150}},
+		{Name: "FindAll", NsPerOp: Stat{Mean: 101}},
+	}})
+	var out strings.Builder
+	diff(&out, oldPath, newPath, 10)
+	got := out.String()
+	if !strings.Contains(got, "::warning title=benchmark regression (+50.0%)::InsertAll:") {
+		t.Errorf("warning title missing the percent delta:\n%s", got)
+	}
+	if strings.Contains(got, "::warning") && strings.Contains(got, "FindAll: mean") == false {
+		t.Errorf("in-threshold row should be a plain delta line:\n%s", got)
+	}
+	if !strings.Contains(got, "1 row(s) regressed") {
+		t.Errorf("missing regression summary:\n%s", got)
+	}
+}
+
+// TestDiffToleratesMissingAndDegenerateRows pins the panic-free paths:
+// a baseline row absent from the fresh run, a fresh row with no
+// baseline, and a baseline row whose mean is zero must all produce
+// informational lines, never warnings or a crash.
+func TestDiffToleratesMissingAndDegenerateRows(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", Doc{Results: []Result{
+		{Name: "Retired", NsPerOp: Stat{Mean: 42}},
+		{Name: "Degenerate", NsPerOp: Stat{Mean: 0}},
+	}})
+	newPath := writeDoc(t, dir, "new.json", Doc{Results: []Result{
+		{Name: "Fresh", NsPerOp: Stat{Mean: 7}},
+		{Name: "Degenerate", NsPerOp: Stat{Mean: 5}},
+	}})
+	var out strings.Builder
+	diff(&out, oldPath, newPath, 10)
+	got := out.String()
+	for _, want := range []string{
+		"new row Fresh: 7 ns/op (no baseline)",
+		"skipped row Degenerate: baseline mean is 0 ns/op",
+		"removed row Retired (was 42 ns/op)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "::warning") {
+		t.Errorf("no row should warn here:\n%s", got)
+	}
+}
+
+func TestAccumStatEmpty(t *testing.T) {
+	var a accum
+	if got := a.stat(); got != (Stat{}) {
+		t.Fatalf("empty accum stat = %+v, want zero", got)
+	}
+}

@@ -5,11 +5,15 @@
 // Usage:
 //
 //	phbench [-n 1000000] [-size 4194304] [-op insert] [-dist all]
-//	        [-tables all] [-table2] [-figure3] [-reps 1]
+//	        [-tables all] [-table2] [-figure3] [-reps 1] [-stats]
 //
 // With no selection flags it prints all six Table 1 sub-tables. Times
 // are seconds, in the paper's layout: one row per implementation, (1)
 // and (P) columns per distribution, where P is GOMAXPROCS.
+//
+// In binaries built with -tags obs, -stats prints a telemetry line
+// under each Table 1 row: mean probe length, the p99 probe-length
+// histogram bucket edge, and the CAS retry rate for that cell.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"time"
 
 	"phasehash/internal/bench"
+	"phasehash/internal/obs"
 	"phasehash/internal/sequence"
 	"phasehash/internal/tables"
 )
@@ -35,8 +40,13 @@ func main() {
 		table2  = flag.Bool("table2", false, "run Table 2 (random writes vs insertion) instead")
 		figure3 = flag.Bool("figure3", false, "print Figure 3's two panels (parallel times, bar-chart series)")
 		reps    = flag.Int("reps", 1, "repetitions (minimum time reported)")
+		stats   = flag.Bool("stats", false, "print mean/p99 probe length and CAS-retry rate under each cell (needs a -tags obs build)")
 	)
 	flag.Parse()
+	if *stats && !obs.Enabled {
+		fmt.Fprintln(os.Stderr, "phbench: -stats needs a build with -tags obs (the counters are compiled out of this binary); ignoring")
+		*stats = false
+	}
 	if *size == 0 {
 		*size = ceilPow2(*n * 8 / 3)
 	}
@@ -70,7 +80,11 @@ func main() {
 		fmt.Println(strings.Join(header, " "))
 		for _, kind := range kindList {
 			row := []string{fmt.Sprintf("%-18s", kind)}
+			statsRow := []string{fmt.Sprintf("%-18s", "  └ probes")}
 			for _, d := range dists {
+				if *stats {
+					obs.Reset()
+				}
 				t := minRep(*reps, func() time.Duration {
 					return bench.Table1Cell(kind, d, op, *n, *size)
 				})
@@ -79,8 +93,15 @@ func main() {
 				} else {
 					row = append(row, fmt.Sprintf("%15s (%dp)  ", fmtSec(t), runtime.GOMAXPROCS(0)))
 				}
+				if *stats {
+					s := obs.TakeSnapshot()
+					statsRow = append(statsRow, fmt.Sprintf("%22s", cellStats(&s, op)))
+				}
 			}
 			fmt.Println(strings.Join(row, " "))
+			if *stats {
+				fmt.Println(strings.Join(statsRow, " "))
+			}
 		}
 		fmt.Println()
 	}
@@ -144,6 +165,34 @@ func parseKinds(s string) []tables.Kind {
 		out = append(out, k)
 	}
 	return out
+}
+
+// cellStats condenses one cell's telemetry to "m=<mean probe>
+// p99<=<histogram upper edge> r=<CAS retry %>". The op decides which
+// probe class to read; ops with no probe loop (elements) show "-", and
+// so do cells that recorded no operations at all — the standalone
+// serial baselines in internal/tables carry no obs hooks, and a row of
+// fabricated zeros under them would read as a measurement.
+func cellStats(s *obs.Snapshot, op bench.Op) string {
+	var class string
+	var h *obs.Histogram
+	var ops uint64
+	counts := s.Ops()
+	switch {
+	case op == bench.OpInsert:
+		class, h, ops = "insert", &s.InsertProbes, counts.InsertOps
+	case strings.HasPrefix(string(op), "find"):
+		class, h, ops = "find", &s.FindProbes, counts.FindOps
+	case strings.HasPrefix(string(op), "delete"):
+		class, h, ops = "delete", &s.DeleteProbes, counts.DeleteOps
+	default:
+		return "-"
+	}
+	if ops == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("m=%.2f p99<=%d r=%.1f%%",
+		s.MeanProbe(class), h.Quantile(0.99), 100*s.CASRetryRate())
 }
 
 func shortDist(d sequence.Distribution) string {

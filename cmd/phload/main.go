@@ -13,6 +13,12 @@
 // without the tag the soak still varies schedules via worker counts.
 //
 //	go run -tags chaos ./cmd/phload -chaos -soak 5m
+//
+// With -obs addr (in a -tags obs build) it serves live telemetry while
+// running: /debug/phasestats (counter snapshot), /debug/vars (expvar)
+// and /debug/pprof for profiling a long soak.
+//
+//	go run -tags 'chaos obs' ./cmd/phload -chaos -soak 5m -obs localhost:6060
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"phasehash/internal/bench"
 	"phasehash/internal/chaos"
 	"phasehash/internal/detres"
+	"phasehash/internal/obs"
 )
 
 func main() {
@@ -37,8 +44,18 @@ func main() {
 		chaosMode = flag.Bool("chaos", false, "run the determinism chaos soak instead of Figure 5")
 		soak      = flag.Duration("soak", 30*time.Second, "chaos soak duration")
 		chaosN    = flag.Int("chaosn", 1<<12, "elements per oracle workload in chaos mode")
+		obsAddr   = flag.String("obs", "", "serve /debug/phasestats, /debug/vars and /debug/pprof on this address while running (needs a -tags obs build)")
 	)
 	flag.Parse()
+
+	if *obsAddr != "" {
+		addr, err := obs.Serve(*obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phload: -obs: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "phload: telemetry at http://%s/debug/phasestats\n", addr)
+	}
 
 	if *chaosMode {
 		chaosSoak(*chaosN, *soak)

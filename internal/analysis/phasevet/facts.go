@@ -62,9 +62,27 @@ var checkedWrapper = map[string]string{
 	"phasehash.GrowSet":   "phasehash.NewCheckedGrowSet",
 }
 
+// phaseNeutral lists methods on classified types that are deliberately
+// NOT phase-classified: telemetry accessors that read the phasestats
+// sinks or per-shard atomic counters, never table cells, and are
+// therefore safe to call during any phase (package-level accessors like
+// phasehash.Stats and ResetStats have no receiver and are never
+// classified to begin with). The allowlist is consulted by classify()
+// and cross-checked against phaseFacts at init, so a future fact
+// addition cannot silently subject them to the discipline.
+var phaseNeutral = map[factKey]bool{
+	{"phasehash", "ShardedSet", "ShardStats"}:                 true,
+	{"phasehash", "ShardedMap32", "ShardStats"}:               true,
+	{"phasehash/internal/core", "ShardedTable", "ShardStats"}: true,
+}
+
 func addFacts(pkg, typ string, methods map[string]methodFact) {
 	for m, f := range methods {
-		phaseFacts[factKey{pkg, typ, m}] = f
+		k := factKey{pkg, typ, m}
+		if phaseNeutral[k] {
+			panic("phasevet: " + pkg + "." + typ + "." + m + " is declared phase-neutral and cannot carry a phase fact")
+		}
+		phaseFacts[k] = f
 	}
 }
 
@@ -245,7 +263,11 @@ func classify(fn *types.Func) (typeName string, fact methodFact, ok bool) {
 		return "", methodFact{}, false
 	}
 	pkg := normalizePkgPath(obj.Pkg().Path())
-	fact, ok = phaseFacts[factKey{pkg, obj.Name(), fn.Name()}]
+	key := factKey{pkg, obj.Name(), fn.Name()}
+	if phaseNeutral[key] {
+		return "", methodFact{}, false
+	}
+	fact, ok = phaseFacts[key]
 	return pkg + "." + obj.Name(), fact, ok
 }
 

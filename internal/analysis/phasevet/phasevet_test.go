@@ -35,6 +35,7 @@ func TestCorpus(t *testing.T) {
 		{"coretab", []string{"mixedphases", "readcapture", "gomix"}},
 		{"bulk", []string{"mixedphases", "gomix"}},
 		{"sharded", []string{"mixedphases", "gomix"}},
+		{"obsstats", []string{"mixedphases", "readcapture"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.pkg, func(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"phasehash/internal/core"
+	"phasehash/internal/obs"
 	"phasehash/internal/parallel"
 	"phasehash/internal/sequence"
 	"phasehash/internal/tables"
@@ -88,6 +89,24 @@ func newTableForDist(kind tables.Kind, d sequence.Distribution, size int) tables
 	return tables.MustNew[core.SetOps](kind, size)
 }
 
+// timedPhase measures f and, in -tags obs builds, brackets it with a
+// phase-timeline span (and runtime/trace task) named name — so a
+// `go tool trace` of a benchmark run shows each measured phase as a
+// user task and Stats().Spans carries the phase timeline.
+func timedPhase(name string, f func()) time.Duration {
+	var sp *obs.ActiveSpan
+	if obs.Enabled {
+		sp = obs.PhaseStart(name)
+	}
+	start := time.Now()
+	f()
+	d := time.Since(start)
+	if obs.Enabled {
+		obs.PhaseEnd(sp)
+	}
+	return d
+}
+
 // Table1Cell measures one cell of Table 1: n operations of op with the
 // given table kind and distribution, on a table of tableSize cells.
 // Returns the measured wall time of the operation phase only.
@@ -96,9 +115,7 @@ func Table1Cell(kind tables.Kind, d sequence.Distribution, op Op, n, tableSize i
 	tab := newTableForDist(kind, d, tableSize)
 	switch op {
 	case OpInsert:
-		start := time.Now()
-		insertAll(kind, tab, elems)
-		return time.Since(start)
+		return timedPhase("bench:insert", func() { insertAll(kind, tab, elems) })
 	case OpFindRandom, OpFindInserted, OpDeleteRandom, OpDeleteInserted:
 		// Pre-fill with the inserted set (untimed), then operate on
 		// either the same elements or a fresh draw from the
@@ -108,19 +125,15 @@ func Table1Cell(kind tables.Kind, d sequence.Distribution, op Op, n, tableSize i
 		if op == OpFindRandom || op == OpDeleteRandom {
 			probe = sequence.WordElements(d, n, 43)
 		}
-		start := time.Now()
 		switch op {
 		case OpFindRandom, OpFindInserted:
-			findAll(kind, tab, probe)
+			return timedPhase("bench:find", func() { findAll(kind, tab, probe) })
 		default:
-			deleteAll(kind, tab, probe)
+			return timedPhase("bench:delete", func() { deleteAll(kind, tab, probe) })
 		}
-		return time.Since(start)
 	case OpElements:
 		insertAll(kind, tab, elems)
-		start := time.Now()
-		tab.Elements()
-		return time.Since(start)
+		return timedPhase("bench:elements", func() { tab.Elements() })
 	default:
 		panic("bench: unknown op " + string(op))
 	}

@@ -54,25 +54,11 @@ const (
 // NumSites is the number of named injection sites.
 const NumSites = int(numSites)
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. The names live in sitenames.go as
+// exported constants shared with the obs telemetry labels.
 func (s Site) String() string {
-	names := [...]string{
-		"word-insert-probe",
-		"word-insert-claim",
-		"word-insert-merge",
-		"word-insert-displace",
-		"word-delete-probe",
-		"ptr-insert-probe",
-		"ptr-insert-claim",
-		"ptr-insert-merge",
-		"ptr-insert-displace",
-		"ptr-delete-probe",
-		"grow-migrate",
-		"grow-drain",
-		"parallel-worker",
-	}
-	if int(s) < len(names) {
-		return names[s]
+	if int(s) < len(siteNames) {
+		return siteNames[s]
 	}
 	return "unknown-site"
 }

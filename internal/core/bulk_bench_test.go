@@ -37,6 +37,7 @@ func BenchmarkInsertPerElement(b *testing.B) {
 	keys := bulkBenchKeys()
 	withBenchWorkers(b, func() {
 		b.ResetTimer()
+		benchObsReset()
 		for i := 0; i < b.N; i++ {
 			t := NewWordTable[SetOps](4 * bulkBenchN)
 			parallel.ForBlocked(len(keys), 0, func(lo, hi int) {
@@ -47,18 +48,21 @@ func BenchmarkInsertPerElement(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	benchObsReport(b, "insert")
 }
 
 func BenchmarkInsertAll(b *testing.B) {
 	keys := bulkBenchKeys()
 	withBenchWorkers(b, func() {
 		b.ResetTimer()
+		benchObsReset()
 		for i := 0; i < b.N; i++ {
 			t := NewWordTable[SetOps](4 * bulkBenchN)
 			t.InsertAll(keys)
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	benchObsReport(b, "insert")
 }
 
 func BenchmarkFindPerElement(b *testing.B) {
@@ -67,6 +71,7 @@ func BenchmarkFindPerElement(b *testing.B) {
 	t.InsertAll(keys)
 	withBenchWorkers(b, func() {
 		b.ResetTimer()
+		benchObsReset()
 		for i := 0; i < b.N; i++ {
 			parallel.ForBlocked(len(keys), 0, func(lo, hi int) {
 				for j := lo; j < hi; j++ {
@@ -76,6 +81,7 @@ func BenchmarkFindPerElement(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	benchObsReport(b, "find")
 }
 
 func BenchmarkFindAll(b *testing.B) {
@@ -84,17 +90,20 @@ func BenchmarkFindAll(b *testing.B) {
 	t.InsertAll(keys)
 	withBenchWorkers(b, func() {
 		b.ResetTimer()
+		benchObsReset()
 		for i := 0; i < b.N; i++ {
 			t.FindAll(keys, nil)
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	benchObsReport(b, "find")
 }
 
 func BenchmarkDeletePerElement(b *testing.B) {
 	keys := bulkBenchKeys()
 	withBenchWorkers(b, func() {
 		b.ResetTimer()
+		benchObsReset()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			t := NewWordTable[SetOps](4 * bulkBenchN)
@@ -108,12 +117,14 @@ func BenchmarkDeletePerElement(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	benchObsReport(b, "delete")
 }
 
 func BenchmarkDeleteAll(b *testing.B) {
 	keys := bulkBenchKeys()
 	withBenchWorkers(b, func() {
 		b.ResetTimer()
+		benchObsReset()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			t := NewWordTable[SetOps](4 * bulkBenchN)
@@ -123,4 +134,5 @@ func BenchmarkDeleteAll(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	benchObsReport(b, "delete")
 }

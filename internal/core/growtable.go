@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"phasehash/internal/chaos"
+	"phasehash/internal/obs"
 )
 
 // GrowTable is the paper's Section 4 resizing extension (listed there as
@@ -176,6 +177,9 @@ func (g *GrowTable[O]) migrate(st *growState[O], quota int) {
 			// behind the cursor by concurrent migration deletes), wrap
 			// the cursor and sweep again.
 			if old.CountAtomic() == 0 {
+				if obs.Enabled && moved > 0 {
+					obs.RecordMigrate(int(i), uint64(moved))
+				}
 				g.retire(st)
 				return
 			}
@@ -197,12 +201,18 @@ func (g *GrowTable[O]) migrate(st *growState[O], quota int) {
 		// new table triggers an early grow instead of a long spin (or,
 		// at worst, the fixed table's full panic).
 		if _, ok := st.table.InsertLimited(e, probeLimit(st.table.Size())); !ok {
+			if obs.Enabled && moved > 0 {
+				obs.RecordMigrate(int(i), uint64(moved))
+			}
 			g.grow(st)
 			return
 		}
 		if old.Delete(e) {
 			moved++
 		}
+	}
+	if obs.Enabled && moved > 0 {
+		obs.RecordMigrate(int(st.cursor.Load()), uint64(moved))
 	}
 }
 
@@ -242,6 +252,9 @@ func (g *GrowTable[O]) grow(st *growState[O]) {
 		oldInflight: cur.inflight,
 	}
 	g.state.Store(next)
+	if obs.Enabled {
+		obs.RecordGrowEvent()
+	}
 }
 
 // drainLocked empties st.old into st.table (allocation lock held).
@@ -253,6 +266,7 @@ func (g *GrowTable[O]) drainLocked(st *growState[O]) {
 		}
 	}
 	old := st.old
+	var obsDrained uint64
 	for old.CountAtomic() > 0 {
 		for i := 0; i < old.Size(); i++ {
 			e := old.load(i)
@@ -264,8 +278,14 @@ func (g *GrowTable[O]) drainLocked(st *growState[O]) {
 			}
 			if old.Delete(e) {
 				st.table.Insert(e)
+				if obs.Enabled {
+					obsDrained++
+				}
 			}
 		}
+	}
+	if obs.Enabled && obsDrained > 0 {
+		obs.RecordMigrate(0, obsDrained)
 	}
 	// st.old is intentionally left set: concurrent inserters still
 	// holding this state read st.old locklessly, and their migrate()

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+
+	"phasehash/internal/obs"
 )
 
 // Phase identifies one of the table's operation classes. The legal
@@ -48,10 +50,20 @@ func (p Phase) String() string {
 //
 // The guard is itself safe for concurrent use and adds two atomic
 // operations per guarded call.
+//
+// In obs builds the guard additionally emits the phase timeline: it
+// sees every phase transition, so the idle→phase claim opens an
+// obs.ActiveSpan (also a runtime/trace task named "phase:<name>") and
+// the last Exit closes it, yielding {phase, start, end, opCount} spans
+// in obs.Snapshot(). Without the tag the span field is dead weight of
+// one pointer and every hook folds away.
 type PhaseGuard struct {
 	// state packs (phase << 32) | active-count into one word so that
 	// phase transitions and occupancy changes are a single CAS.
 	state atomic.Uint64
+	// span is the obs-build timeline span for the currently active
+	// phase; owned by the idle→phase claimant, cleared by the last Exit.
+	span atomic.Pointer[obs.ActiveSpan]
 }
 
 func packState(p Phase, n uint32) uint64   { return uint64(p)<<32 | uint64(n) }
@@ -68,6 +80,10 @@ func (g *PhaseGuard) Enter(p Phase) error {
 		if n == 0 {
 			// Idle: claim the phase.
 			if g.state.CompareAndSwap(s, packState(p, 1)) {
+				if obs.Enabled {
+					g.span.Store(obs.PhaseStart(p.String()))
+					g.span.Load().AddOp()
+				}
 				return nil
 			}
 			continue
@@ -77,6 +93,9 @@ func (g *PhaseGuard) Enter(p Phase) error {
 				p.String(), cur.String(), n)
 		}
 		if g.state.CompareAndSwap(s, packState(p, n+1)) {
+			if obs.Enabled {
+				g.span.Load().AddOp()
+			}
 			return nil
 		}
 	}
@@ -96,6 +115,10 @@ func (g *PhaseGuard) EnterExclusive() error {
 				cur.String(), n)
 		}
 		if g.state.CompareAndSwap(s, packState(PhaseExclusive, 1)) {
+			if obs.Enabled {
+				g.span.Store(obs.PhaseStart(PhaseExclusive.String()))
+				g.span.Load().AddOp()
+			}
 			return nil
 		}
 	}
@@ -114,6 +137,18 @@ func (g *PhaseGuard) Exit(p Phase) {
 		next := packState(p, n-1)
 		if n == 1 {
 			next = packState(PhaseIdle, 0)
+		}
+		if obs.Enabled && n == 1 {
+			// Take the span before returning to idle: once the state CAS
+			// lands another Enter may claim the guard and store a fresh
+			// span, and the close must not race it.
+			sp := g.span.Swap(nil)
+			if g.state.CompareAndSwap(s, next) {
+				obs.PhaseEnd(sp)
+				return
+			}
+			g.span.Store(sp) // CAS lost; restore and retry
+			continue
 		}
 		if g.state.CompareAndSwap(s, next) {
 			return

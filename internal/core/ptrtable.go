@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"phasehash/internal/chaos"
+	"phasehash/internal/obs"
 	"phasehash/internal/parallel"
 )
 
@@ -109,23 +110,38 @@ func (t *PtrTable[T, O]) insertLoop(v *T) (added, full bool) {
 
 // insertLoopFrom is insertLoop starting from a caller-supplied probe
 // origin (i must be t.home(v)); the bulk kernels pre-hash and
-// cache-stage homes ahead of the probe.
+// cache-stage homes ahead of the probe. Telemetry mirrors
+// WordTable.insertLoopFrom: local tallies, one publish per operation.
 func (t *PtrTable[T, O]) insertLoopFrom(v *T, i int) (added, full bool) {
+	var obsCAS, obsFail, obsDisp uint64
+	start := i
 	limit := i + len(t.cells)
 	for {
 		if chaos.Enabled {
 			chaos.Yield(chaos.SitePtrInsertProbe)
 		}
 		if i >= limit {
+			if obs.Enabled {
+				obs.RecordInsert(start, uint64(i-start), obsCAS, obsFail, obsDisp)
+			}
 			return false, true
 		}
 		c := t.load(i)
 		if c == nil {
 			if chaos.Enabled && chaos.FailCAS(chaos.SitePtrInsertClaim) {
+				if obs.Enabled {
+					obsCAS, obsFail = obsCAS+1, obsFail+1
+				}
 				continue // pretend the CAS lost; re-read the cell
 			}
 			if t.cas(i, nil, v) {
+				if obs.Enabled {
+					obs.RecordInsert(start, uint64(i-start), obsCAS+1, obsFail, obsDisp)
+				}
 				return true, false
+			}
+			if obs.Enabled {
+				obsCAS, obsFail = obsCAS+1, obsFail+1
 			}
 			continue
 		}
@@ -134,20 +150,40 @@ func (t *PtrTable[T, O]) insertLoopFrom(v *T, i int) (added, full bool) {
 		case cmp == 0:
 			merged := t.ops.Merge(c, v)
 			if chaos.Enabled && merged != c && chaos.FailCAS(chaos.SitePtrInsertMerge) {
+				if obs.Enabled {
+					obsCAS, obsFail = obsCAS+1, obsFail+1
+				}
 				continue
 			}
 			if merged == c || t.cas(i, c, merged) {
+				if obs.Enabled {
+					if merged != c {
+						obsCAS++
+					}
+					obs.RecordInsert(start, uint64(i-start), obsCAS, obsFail, obsDisp)
+				}
 				return false, false
+			}
+			if obs.Enabled {
+				obsCAS, obsFail = obsCAS+1, obsFail+1
 			}
 		case cmp > 0:
 			i++
 		default:
 			if chaos.Enabled && chaos.FailCAS(chaos.SitePtrInsertDisplace) {
+				if obs.Enabled {
+					obsCAS, obsFail = obsCAS+1, obsFail+1
+				}
 				continue
 			}
 			if t.cas(i, c, v) {
+				if obs.Enabled {
+					obsCAS, obsDisp = obsCAS+1, obsDisp+1
+				}
 				v = c
 				i++
+			} else if obs.Enabled {
+				obsCAS, obsFail = obsCAS+1, obsFail+1
 			}
 		}
 	}
@@ -175,16 +211,26 @@ func (t *PtrTable[T, O]) Find(v *T) (*T, bool) {
 
 // findFrom is Find starting from a caller-supplied probe origin.
 func (t *PtrTable[T, O]) findFrom(v *T, i int) (*T, bool) {
+	start := i
 	for {
 		c := t.load(i)
 		if c == nil {
+			if obs.Enabled {
+				obs.RecordFind(start, uint64(i-start), false)
+			}
 			return nil, false
 		}
 		cmp := t.ops.Cmp(v, c)
 		if cmp > 0 {
+			if obs.Enabled {
+				obs.RecordFind(start, uint64(i-start), false)
+			}
 			return nil, false
 		}
 		if cmp == 0 {
+			if obs.Enabled {
+				obs.RecordFind(start, uint64(i-start), true)
+			}
 			return c, true
 		}
 		i++
@@ -198,6 +244,8 @@ func (t *PtrTable[T, O]) Delete(v *T) bool {
 
 // deleteFrom is Delete starting from a caller-supplied probe origin.
 func (t *PtrTable[T, O]) deleteFrom(v *T, i int) bool {
+	var obsScan, obsRepl, obsFail uint64
+	home := i
 	k := i
 	for {
 		c := t.load(k)
@@ -205,6 +253,9 @@ func (t *PtrTable[T, O]) deleteFrom(v *T, i int) bool {
 			break
 		}
 		k++
+	}
+	if obs.Enabled {
+		obsScan = uint64(k - home)
 	}
 	deleted := false
 	for k >= i {
@@ -220,14 +271,26 @@ func (t *PtrTable[T, O]) deleteFrom(v *T, i int) bool {
 		if t.cas(k, c, w) {
 			deleted = true
 			if w == nil {
+				if obs.Enabled {
+					obs.RecordDelete(home, obsScan, obsRepl, obsFail)
+				}
 				return true
+			}
+			if obs.Enabled {
+				obsRepl++
 			}
 			v = w
 			k = j
 			i = t.lift(t.ops.Hash(w)&uint64(t.mask), j)
 		} else {
+			if obs.Enabled {
+				obsFail++
+			}
 			k--
 		}
+	}
+	if obs.Enabled {
+		obs.RecordDelete(home, obsScan, obsRepl, obsFail)
 	}
 	return deleted
 }

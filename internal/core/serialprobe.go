@@ -1,5 +1,7 @@
 package core
 
+import "phasehash/internal/obs"
+
 // This file holds the non-atomic serial probe loops of WordTable: the
 // same linear-probing algorithms as the exported phase-concurrent
 // operations, with plain loads and stores instead of atomic loads and
@@ -20,21 +22,34 @@ package core
 // access to the table (or shard): they are deliberately not in the
 // phasevet fact table because they are unexported and never visible to
 // API users.
+//
+// Telemetry: the serial loops feed the same obs counters as the atomic
+// paths (so sharded and flat runs are comparable), with zero CAS
+// attempts — there are none to count here, which is the point of the
+// owner-computes path.
 
 // insertSerial is insertLoopFrom with plain memory operations: walk the
 // probe sequence, displace lower-priority elements, merge equal keys.
 // full reports a whole-array sweep, exactly like insertLoop.
 func (t *WordTable[O]) insertSerial(v uint64) (added, full bool) {
+	var obsDisp uint64
 	i := t.home(v)
+	start := i
 	limit := i + len(t.cells)
 	for {
 		if i >= limit {
+			if obs.Enabled {
+				obs.RecordInsert(start, uint64(i-start), 0, 0, obsDisp)
+			}
 			return false, true
 		}
 		c := t.cells[i&t.mask]
 		switch {
 		case c == Empty:
 			t.cells[i&t.mask] = v
+			if obs.Enabled {
+				obs.RecordInsert(start, uint64(i-start), 0, 0, obsDisp)
+			}
 			return true, false
 		default:
 			cmp := t.ops.Cmp(c, v)
@@ -43,6 +58,9 @@ func (t *WordTable[O]) insertSerial(v uint64) (added, full bool) {
 				if merged := t.ops.Merge(c, v); merged != c {
 					t.cells[i&t.mask] = merged
 				}
+				if obs.Enabled {
+					obs.RecordInsert(start, uint64(i-start), 0, 0, obsDisp)
+				}
 				return false, false
 			case cmp > 0: // cell has higher priority; keep probing
 				i++
@@ -50,6 +68,9 @@ func (t *WordTable[O]) insertSerial(v uint64) (added, full bool) {
 				t.cells[i&t.mask] = v
 				v = c
 				i++
+				if obs.Enabled {
+					obsDisp++
+				}
 			}
 		}
 	}
@@ -58,16 +79,26 @@ func (t *WordTable[O]) insertSerial(v uint64) (added, full bool) {
 // findSerial is findFrom with plain loads.
 func (t *WordTable[O]) findSerial(v uint64) (uint64, bool) {
 	i := t.home(v)
+	start := i
 	for {
 		c := t.cells[i&t.mask]
 		if c == Empty {
+			if obs.Enabled {
+				obs.RecordFind(start, uint64(i-start), false)
+			}
 			return Empty, false
 		}
 		cmp := t.ops.Cmp(v, c)
 		if cmp > 0 {
+			if obs.Enabled {
+				obs.RecordFind(start, uint64(i-start), false)
+			}
 			return Empty, false
 		}
 		if cmp == 0 {
+			if obs.Enabled {
+				obs.RecordFind(start, uint64(i-start), true)
+			}
 			return c, true
 		}
 		i++
@@ -81,7 +112,9 @@ func (t *WordTable[O]) findSerial(v uint64) (uint64, bool) {
 // find the victim, pull the closest following element that hashes at or
 // before it into the hole, and repeat on the copy it left behind.
 func (t *WordTable[O]) deleteSerial(v uint64) bool {
-	k := t.home(v)
+	var obsScan, obsRepl uint64
+	home := t.home(v)
+	k := home
 	for {
 		c := t.cells[k&t.mask]
 		if c == Empty || t.ops.Cmp(v, c) >= 0 {
@@ -89,15 +122,27 @@ func (t *WordTable[O]) deleteSerial(v uint64) bool {
 		}
 		k++
 	}
+	if obs.Enabled {
+		obsScan = uint64(k - home)
+	}
 	for {
 		c := t.cells[k&t.mask]
 		if c == Empty || t.ops.Cmp(v, c) != 0 {
+			if obs.Enabled {
+				obs.RecordDelete(home, obsScan, obsRepl, 0)
+			}
 			return false
 		}
 		j, w := t.findReplacementSerial(k)
 		t.cells[k&t.mask] = w
 		if w == Empty {
+			if obs.Enabled {
+				obs.RecordDelete(home, obsScan, obsRepl, 0)
+			}
 			return true
+		}
+		if obs.Enabled {
+			obsRepl++
 		}
 		// Two copies of w exist now; delete the original at j. The loop
 		// re-enters with v = w already matching cells[j].

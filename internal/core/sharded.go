@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"phasehash/internal/obs"
 	"phasehash/internal/parallel"
 )
 
@@ -162,6 +163,9 @@ func (t *ShardedTable[O]) partitionByShard(elems []uint64) ([]uint64, []int) {
 	offsets := parallel.Partition(scratch, elems, len(t.shards), func(i int) int {
 		return t.shardOf(elems[i])
 	})
+	if obs.Enabled {
+		obs.RecordShardBulk(offsets)
+	}
 	return scratch, offsets
 }
 
@@ -240,6 +244,9 @@ func (t *ShardedTable[O]) FindAll(keys []uint64, dst []uint64) int {
 		perm, offsets := parallel.PartitionIndex(len(keys), len(t.shards), func(i int) int {
 			return t.shardOf(keys[i])
 		})
+		if obs.Enabled {
+			obs.RecordShardBulk(offsets)
+		}
 		parallel.ForGrain(len(t.shards), 1, func(s int) {
 			sh := t.shards[s]
 			n := 0
@@ -295,6 +302,45 @@ func (t *ShardedTable[O]) Count() int {
 		n += sh.Count()
 	}
 	return n
+}
+
+// ShardStats summarizes the element balance across shards at
+// quiescence. It is always available (not gated on the obs build):
+// computing it is a parallel Count per shard, paid only when asked.
+type ShardStats struct {
+	Shards int   // shard count
+	Total  int   // stored elements summed over shards
+	Min    int   // smallest shard's element count
+	Max    int   // largest shard's element count
+	Counts []int // per-shard element counts, in shard order
+}
+
+// Imbalance returns Max / mean — 1.0 is perfect balance, and the
+// owner-computes kernels' critical path scales with it (the fullest
+// shard is the longest run). Returns 0 for an empty table.
+func (s ShardStats) Imbalance() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Max) * float64(s.Shards) / float64(s.Total)
+}
+
+// ShardStats computes the per-shard element counts and their spread
+// (find/elements phase only; see ShardStats.Imbalance).
+func (t *ShardedTable[O]) ShardStats() ShardStats {
+	st := ShardStats{Shards: len(t.shards), Counts: make([]int, len(t.shards))}
+	for s, sh := range t.shards {
+		c := sh.Count()
+		st.Counts[s] = c
+		st.Total += c
+		if s == 0 || c < st.Min {
+			st.Min = c
+		}
+		if c > st.Max {
+			st.Max = c
+		}
+	}
+	return st
 }
 
 // Elements packs the stored elements into a fresh slice in shard order,

@@ -34,12 +34,14 @@ func BenchmarkShardedInsertAll(b *testing.B) {
 	keys := bulkBenchKeys()
 	withBenchWorkers(b, func() {
 		b.ResetTimer()
+		benchObsReset()
 		for i := 0; i < b.N; i++ {
 			t := NewShardedTable[SetOps](4*bulkBenchN, shardedBenchShards)
 			t.InsertAll(keys)
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	benchObsReport(b, "insert")
 }
 
 func BenchmarkShardedFindAll(b *testing.B) {
@@ -48,17 +50,20 @@ func BenchmarkShardedFindAll(b *testing.B) {
 	t.InsertAll(keys)
 	withBenchWorkers(b, func() {
 		b.ResetTimer()
+		benchObsReset()
 		for i := 0; i < b.N; i++ {
 			t.FindAll(keys, nil)
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	benchObsReport(b, "find")
 }
 
 func BenchmarkShardedDeleteAll(b *testing.B) {
 	keys := bulkBenchKeys()
 	withBenchWorkers(b, func() {
 		b.ResetTimer()
+		benchObsReset()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			t := NewShardedTable[SetOps](4*bulkBenchN, shardedBenchShards)
@@ -68,36 +73,42 @@ func BenchmarkShardedDeleteAll(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	benchObsReport(b, "delete")
 }
 
 func BenchmarkInsertAllDup(b *testing.B) {
 	keys := dupBenchKeys()
 	withBenchWorkers(b, func() {
 		b.ResetTimer()
+		benchObsReset()
 		for i := 0; i < b.N; i++ {
 			t := NewWordTable[SetOps](4 * bulkBenchN)
 			t.InsertAll(keys)
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	benchObsReport(b, "insert")
 }
 
 func BenchmarkShardedInsertAllDup(b *testing.B) {
 	keys := dupBenchKeys()
 	withBenchWorkers(b, func() {
 		b.ResetTimer()
+		benchObsReset()
 		for i := 0; i < b.N; i++ {
 			t := NewShardedTable[SetOps](4*bulkBenchN, shardedBenchShards)
 			t.InsertAll(keys)
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	benchObsReport(b, "insert")
 }
 
 func BenchmarkDeleteAllDup(b *testing.B) {
 	keys := dupBenchKeys()
 	withBenchWorkers(b, func() {
 		b.ResetTimer()
+		benchObsReset()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			t := NewWordTable[SetOps](4 * bulkBenchN)
@@ -107,12 +118,14 @@ func BenchmarkDeleteAllDup(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	benchObsReport(b, "delete")
 }
 
 func BenchmarkShardedDeleteAllDup(b *testing.B) {
 	keys := dupBenchKeys()
 	withBenchWorkers(b, func() {
 		b.ResetTimer()
+		benchObsReset()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			t := NewShardedTable[SetOps](4*bulkBenchN, shardedBenchShards)
@@ -122,4 +135,5 @@ func BenchmarkShardedDeleteAllDup(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	benchObsReport(b, "delete")
 }

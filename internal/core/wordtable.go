@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"phasehash/internal/chaos"
+	"phasehash/internal/obs"
 	"phasehash/internal/parallel"
 )
 
@@ -113,22 +114,41 @@ func (t *WordTable[O]) insertLoop(v uint64) (added, full bool) {
 // This is Figure 1's INSERT: walk the probe sequence; past higher-priority
 // elements, step forward; on a lower-priority element, CAS ourselves in
 // and carry the displaced element forward; on an equal key, merge.
+//
+// Telemetry (obs builds only; const-folded away otherwise) accumulates
+// in locals and publishes once per operation at the return points. The
+// probe-step count is i-start: i grows monotonically, so the final
+// offset is exactly the cells walked.
 func (t *WordTable[O]) insertLoopFrom(v uint64, i int) (added, full bool) {
+	var obsCAS, obsFail, obsDisp uint64
+	start := i
 	limit := i + len(t.cells)
 	for {
 		if chaos.Enabled {
 			chaos.Yield(chaos.SiteWordInsertProbe)
 		}
 		if i >= limit {
+			if obs.Enabled {
+				obs.RecordInsert(start, uint64(i-start), obsCAS, obsFail, obsDisp)
+			}
 			return false, true
 		}
 		c := t.load(i)
 		if c == Empty {
 			if chaos.Enabled && chaos.FailCAS(chaos.SiteWordInsertClaim) {
+				if obs.Enabled {
+					obsCAS, obsFail = obsCAS+1, obsFail+1
+				}
 				continue // pretend the CAS lost; re-read the cell
 			}
 			if t.cas(i, Empty, v) {
+				if obs.Enabled {
+					obs.RecordInsert(start, uint64(i-start), obsCAS+1, obsFail, obsDisp)
+				}
 				return true, false
+			}
+			if obs.Enabled {
+				obsCAS, obsFail = obsCAS+1, obsFail+1
 			}
 			continue // re-read the cell
 		}
@@ -140,23 +160,43 @@ func (t *WordTable[O]) insertLoopFrom(v uint64, i int) (added, full bool) {
 			// fall through to re-read and re-compare.
 			merged := t.ops.Merge(c, v)
 			if chaos.Enabled && merged != c && chaos.FailCAS(chaos.SiteWordInsertMerge) {
+				if obs.Enabled {
+					obsCAS, obsFail = obsCAS+1, obsFail+1
+				}
 				continue
 			}
 			if merged == c || t.cas(i, c, merged) {
+				if obs.Enabled {
+					if merged != c {
+						obsCAS++
+					}
+					obs.RecordInsert(start, uint64(i-start), obsCAS, obsFail, obsDisp)
+				}
 				return false, false
+			}
+			if obs.Enabled {
+				obsCAS, obsFail = obsCAS+1, obsFail+1
 			}
 		case cmp > 0: // cell has higher priority; keep probing
 			i++
 		default: // v has higher priority; swap in and carry c forward
 			if chaos.Enabled && chaos.FailCAS(chaos.SiteWordInsertDisplace) {
+				if obs.Enabled {
+					obsCAS, obsFail = obsCAS+1, obsFail+1
+				}
 				continue
 			}
 			if t.cas(i, c, v) {
+				if obs.Enabled {
+					obsCAS, obsDisp = obsCAS+1, obsDisp+1
+				}
 				v = c
 				i++
 				// The displaced element hashes at or before i-1, so its
 				// remaining probe distance is still bounded by the
 				// cluster length; keep the same safety limit.
+			} else if obs.Enabled {
+				obsCAS, obsFail = obsCAS+1, obsFail+1
 			}
 		}
 	}
@@ -178,10 +218,15 @@ func (t *WordTable[O]) fullErr() error {
 // ok=false so the caller can grow. Once the insert has swapped anything
 // in, it runs to completion regardless (another insert will trip the
 // detector soon enough). Returns (added, ok).
+// Telemetry records only *completed* inserts: a probe-limit abort is
+// retried by the caller after growing, so counting each attempt would
+// make the schedule-independent insert-op total depend on how often the
+// limit tripped (its probe work is simply not attributed).
 func (t *WordTable[O]) InsertLimited(v uint64, limit int) (added, ok bool) {
 	if v == Empty {
 		panic("core: cannot insert the reserved empty element")
 	}
+	var obsCAS, obsFail, obsDisp uint64
 	start := t.home(v)
 	i := start
 	committed := false
@@ -199,10 +244,19 @@ func (t *WordTable[O]) InsertLimited(v uint64, limit int) (added, ok bool) {
 		c := t.load(i)
 		if c == Empty {
 			if chaos.Enabled && chaos.FailCAS(chaos.SiteWordInsertClaim) {
+				if obs.Enabled {
+					obsCAS, obsFail = obsCAS+1, obsFail+1
+				}
 				continue
 			}
 			if t.cas(i, Empty, v) {
+				if obs.Enabled {
+					obs.RecordInsert(start, uint64(i-start), obsCAS+1, obsFail, obsDisp)
+				}
 				return true, true
+			}
+			if obs.Enabled {
+				obsCAS, obsFail = obsCAS+1, obsFail+1
 			}
 			continue
 		}
@@ -211,21 +265,41 @@ func (t *WordTable[O]) InsertLimited(v uint64, limit int) (added, ok bool) {
 		case cmp == 0:
 			merged := t.ops.Merge(c, v)
 			if chaos.Enabled && merged != c && chaos.FailCAS(chaos.SiteWordInsertMerge) {
+				if obs.Enabled {
+					obsCAS, obsFail = obsCAS+1, obsFail+1
+				}
 				continue
 			}
 			if merged == c || t.cas(i, c, merged) {
+				if obs.Enabled {
+					if merged != c {
+						obsCAS++
+					}
+					obs.RecordInsert(start, uint64(i-start), obsCAS, obsFail, obsDisp)
+				}
 				return false, true
+			}
+			if obs.Enabled {
+				obsCAS, obsFail = obsCAS+1, obsFail+1
 			}
 		case cmp > 0:
 			i++
 		default:
 			if chaos.Enabled && chaos.FailCAS(chaos.SiteWordInsertDisplace) {
+				if obs.Enabled {
+					obsCAS, obsFail = obsCAS+1, obsFail+1
+				}
 				continue
 			}
 			if t.cas(i, c, v) {
+				if obs.Enabled {
+					obsCAS, obsDisp = obsCAS+1, obsDisp+1
+				}
 				committed = true
 				v = c
 				i++
+			} else if obs.Enabled {
+				obsCAS, obsFail = obsCAS+1, obsFail+1
 			}
 		}
 	}
@@ -243,16 +317,26 @@ func (t *WordTable[O]) Find(v uint64) (uint64, bool) {
 // findFrom is Find starting from a caller-supplied probe origin (i must
 // be t.home(v)); see insertLoopFrom.
 func (t *WordTable[O]) findFrom(v uint64, i int) (uint64, bool) {
+	start := i
 	for {
 		c := t.load(i)
 		if c == Empty {
+			if obs.Enabled {
+				obs.RecordFind(start, uint64(i-start), false)
+			}
 			return Empty, false
 		}
 		cmp := t.ops.Cmp(v, c)
 		if cmp > 0 {
+			if obs.Enabled {
+				obs.RecordFind(start, uint64(i-start), false)
+			}
 			return Empty, false
 		}
 		if cmp == 0 {
+			if obs.Enabled {
+				obs.RecordFind(start, uint64(i-start), true)
+			}
 			return c, true
 		}
 		i++
@@ -280,6 +364,8 @@ func (t *WordTable[O]) Delete(v uint64) bool {
 func (t *WordTable[O]) deleteFrom(v uint64, i int) bool {
 	// Find v or the first element past it in the probe sequence
 	// (concurrent deletes may have shifted v back, never forward).
+	var obsScan, obsRepl, obsFail uint64
+	home := i
 	k := i
 	for {
 		c := t.load(k)
@@ -287,6 +373,9 @@ func (t *WordTable[O]) deleteFrom(v uint64, i int) bool {
 			break
 		}
 		k++
+	}
+	if obs.Enabled {
+		obsScan = uint64(k - home)
 	}
 	deleted := false
 	for k >= i {
@@ -304,7 +393,13 @@ func (t *WordTable[O]) deleteFrom(v uint64, i int) bool {
 		if t.cas(k, c, w) {
 			deleted = true
 			if w == Empty {
+				if obs.Enabled {
+					obs.RecordDelete(home, obsScan, obsRepl, obsFail)
+				}
 				return true
+			}
+			if obs.Enabled {
+				obsRepl++
 			}
 			// There are now two copies of w; we own deleting one.
 			v = w
@@ -312,8 +407,14 @@ func (t *WordTable[O]) deleteFrom(v uint64, i int) bool {
 			i = t.lift(t.ops.Hash(w)&uint64(t.mask), j)
 		} else {
 			// v was deleted or moved down by a concurrent delete.
+			if obs.Enabled {
+				obsFail++
+			}
 			k--
 		}
+	}
+	if obs.Enabled {
+		obs.RecordDelete(home, obsScan, obsRepl, obsFail)
 	}
 	return deleted
 }

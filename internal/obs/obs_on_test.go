@@ -1,0 +1,173 @@
+//go:build obs
+
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestStripedSinksMergeLikeSerial drives the *real* sinks with one op
+// stream, split across goroutines and stripes, and asserts TakeSnapshot
+// merges to exactly the serial totals — the sink-level version of the
+// histogram merge property (stripe assignment must be invisible after
+// merging).
+func TestStripedSinksMergeLikeSerial(t *testing.T) {
+	type op struct {
+		stripe int
+		steps  uint64
+	}
+	stream := make([]op, 5000)
+	for i := range stream {
+		stream[i] = op{stripe: i * 2654435761 % 977, steps: uint64(i % 37)}
+	}
+	var wantSteps uint64
+	var wantHist Histogram
+	for _, o := range stream {
+		wantSteps += o.steps
+		wantHist.Add(int(o.steps))
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		Reset()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(stream); i += workers {
+					RecordInsert(stream[i].stripe, stream[i].steps, 1, 0, 0)
+					RecordFind(stream[i].stripe, stream[i].steps, i%2 == 0)
+				}
+			}(w)
+		}
+		wg.Wait()
+		s := TakeSnapshot()
+		if got := s.Get(CtrInsertOps); got != uint64(len(stream)) {
+			t.Fatalf("workers=%d: insert ops %d, want %d", workers, got, len(stream))
+		}
+		if got := s.Get(CtrInsertProbeSteps); got != wantSteps {
+			t.Fatalf("workers=%d: probe steps %d, want %d", workers, got, wantSteps)
+		}
+		if got := s.Get(CtrFindHits); got != uint64(len(stream)/2) {
+			t.Fatalf("workers=%d: find hits %d, want %d", workers, got, len(stream)/2)
+		}
+		if s.InsertProbes != wantHist {
+			t.Fatalf("workers=%d: insert histogram %v, want %v", workers, s.InsertProbes, wantHist)
+		}
+		if s.FindProbes != wantHist {
+			t.Fatalf("workers=%d: find histogram %v, want %v", workers, s.FindProbes, wantHist)
+		}
+	}
+}
+
+func TestShardBulkGauge(t *testing.T) {
+	Reset()
+	// 4 shards, runs of 10/30/0/20: imbalance = 30*4/60 = 2.0x.
+	RecordShardBulk([]int{0, 10, 40, 40, 60})
+	s := TakeSnapshot()
+	if got := s.Get(CtrShardBulkCalls); got != 1 {
+		t.Fatalf("calls = %d", got)
+	}
+	if got := s.Get(CtrShardBulkRuns); got != 3 {
+		t.Fatalf("nonempty runs = %d, want 3", got)
+	}
+	if got := s.Get(CtrShardBulkElems); got != 60 {
+		t.Fatalf("elems = %d, want 60", got)
+	}
+	if s.MaxShardImbalancePm != 2000 {
+		t.Fatalf("imbalance = %d pm, want 2000", s.MaxShardImbalancePm)
+	}
+	// A more balanced later call must not lower the max gauge.
+	RecordShardBulk([]int{0, 15, 30, 45, 60})
+	if s = TakeSnapshot(); s.MaxShardImbalancePm != 2000 {
+		t.Fatalf("gauge dropped to %d pm", s.MaxShardImbalancePm)
+	}
+}
+
+func TestPhaseSpansAndReset(t *testing.T) {
+	Reset()
+	sp := PhaseStart("insert")
+	for i := 0; i < 5; i++ {
+		sp.AddOp()
+	}
+	PhaseEnd(sp)
+	sp = PhaseStart("read")
+	sp.AddOp()
+	PhaseEnd(sp)
+	s := TakeSnapshot()
+	if len(s.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(s.Spans), s.Spans)
+	}
+	if s.Spans[0].Phase != "insert" || s.Spans[0].Ops != 5 {
+		t.Fatalf("span 0 = %+v", s.Spans[0])
+	}
+	if s.Spans[1].Phase != "read" || s.Spans[1].Ops != 1 {
+		t.Fatalf("span 1 = %+v", s.Spans[1])
+	}
+	for _, span := range s.Spans {
+		if span.EndNs < span.StartNs {
+			t.Fatalf("span ends before it starts: %+v", span)
+		}
+	}
+	if s.Spans[1].StartNs < s.Spans[0].StartNs {
+		t.Fatal("timeline out of order")
+	}
+	// nil-span safety and reset.
+	var nilSpan *ActiveSpan
+	nilSpan.AddOp()
+	PhaseEnd(nil)
+	Reset()
+	if s = TakeSnapshot(); len(s.Spans) != 0 || s.Get(CtrInsertOps) != 0 {
+		t.Fatalf("Reset left state behind: %+v", s)
+	}
+}
+
+func TestTimelineCap(t *testing.T) {
+	Reset()
+	defer Reset()
+	for i := 0; i < TimelineCap+10; i++ {
+		PhaseEnd(PhaseStart("read"))
+	}
+	s := TakeSnapshot()
+	if len(s.Spans) != TimelineCap {
+		t.Fatalf("got %d spans, want cap %d", len(s.Spans), TimelineCap)
+	}
+	if s.SpansDropped != 10 {
+		t.Fatalf("dropped = %d, want 10", s.SpansDropped)
+	}
+}
+
+func TestServeEndpoint(t *testing.T) {
+	Reset()
+	RecordInsert(0, 3, 1, 0, 0)
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback here: %v", err)
+	}
+	for _, path := range []string{"/debug/phasestats", "/debug/vars"} {
+		resp, err := http.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d err %v", path, resp.StatusCode, err)
+		}
+		if path == "/debug/phasestats" {
+			var decoded struct {
+				Enabled  bool              `json:"enabled"`
+				Counters map[string]uint64 `json:"counters"`
+			}
+			if err := json.Unmarshal(body, &decoded); err != nil {
+				t.Fatalf("bad JSON from %s: %v\n%s", path, err, body)
+			}
+			if !decoded.Enabled || decoded.Counters["insert-ops"] != 1 {
+				t.Fatalf("unexpected snapshot: %s", body)
+			}
+		}
+	}
+}

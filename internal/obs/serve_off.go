@@ -1,0 +1,10 @@
+//go:build !obs
+
+package obs
+
+import "net"
+
+// Serve is unavailable without the obs tag (ErrDisabled). This stub
+// also keeps net/http out of untagged binaries: the live Serve lives
+// behind the tag, so importing obs costs library consumers nothing.
+func Serve(addr string) (net.Addr, error) { return nil, ErrDisabled }

@@ -1,0 +1,59 @@
+//go:build obs
+
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var serveOnce sync.Once
+
+// Serve starts the live debug endpoint on addr (e.g. "localhost:6060")
+// and returns the bound address. It registers, on a private mux:
+//
+//   - /debug/vars        — expvar, including a "phasestats" var whose
+//     value is the current Snapshot JSON (recomputed per request)
+//   - /debug/phasestats  — the Snapshot JSON alone, indented
+//   - /debug/pprof/...   — the standard net/http/pprof handlers
+//
+// so a long soak (`phload -chaos -obs addr`) can be inspected live.
+// The listener runs until the process exits; Serve returns immediately.
+func Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	serveOnce.Do(func() {
+		expvar.Publish("phasestats", expvar.Func(func() any {
+			return TakeSnapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/phasestats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(TakeSnapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		srv := &http.Server{Handler: mux}
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Printf("obs: debug server stopped: %v\n", err)
+		}
+	}()
+	return ln.Addr(), nil
+}

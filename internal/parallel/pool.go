@@ -7,6 +7,7 @@ import (
 
 	"phasehash/internal/atomicx"
 	"phasehash/internal/chaos"
+	"phasehash/internal/obs"
 )
 
 // This file is the persistent worker pool behind ForBlocked (and hence
@@ -42,17 +43,22 @@ type job struct {
 	done      chan struct{}       // closed when remaining hits zero
 }
 
-// run participates in the job until the block cursor is exhausted.
-// It never blocks; pool workers call it and immediately park again,
-// the dispatcher calls it and then waits on done.
-func (j *job) run() {
+// run participates in the job until the block cursor is exhausted,
+// returning the number of blocks this participant executed (used by the
+// obs build to attribute work to workers; every participation ends with
+// exactly one cursor draw past the last block, which the callers count
+// as the cursor-miss gauge). It never blocks; pool workers call it and
+// immediately park again, the dispatcher calls it and then waits on
+// done.
+func (j *job) run() int {
 	if chaos.Enabled {
 		chaos.SkewWorker(chaos.SiteParallelWorker)
 	}
+	claimed := 0
 	for {
 		b := int(j.cursor.Add(1)) - 1
 		if b >= j.nblocks {
-			return
+			return claimed
 		}
 		lo := b * j.grain
 		hi := lo + j.grain
@@ -60,6 +66,7 @@ func (j *job) run() {
 			hi = j.n
 		}
 		j.body(lo, hi)
+		claimed++
 		if j.remaining.Add(-1) == 0 {
 			close(j.done)
 		}
@@ -97,17 +104,32 @@ func (p *pool) ensure(k int) {
 }
 
 // work is a pool worker's main loop: park on the token channel, help
-// with the received job until its cursor is exhausted, park again.
+// with the received job until its cursor is exhausted, park again. The
+// worker index is known here for free, so the obs build attributes
+// blocks per worker without any identity lookup; a wake that claims
+// zero blocks is recorded as stale (the job drained before this worker
+// got there).
 func (p *pool) work(id int) {
 	registerWorker(id)
 	for j := range p.jobs {
-		j.run()
+		claimed := j.run()
+		if obs.Enabled {
+			obs.RecordWake(claimed == 0)
+			obs.RecordCursorMiss(1)
+			if claimed > 0 {
+				obs.RecordWorkerBlocks(id, uint64(claimed))
+			}
+		}
 	}
 }
 
 // dispatch hands j to up to helpers pool workers and participates until
 // the job completes. Token sends are best-effort (see tokenBuffer).
+// The dispatching goroutine's blocks are credited to worker index 0.
 func (p *pool) dispatch(j *job, helpers int) {
+	if obs.Enabled {
+		obs.RecordDispatch(j.nblocks)
+	}
 	p.ensure(helpers)
 	for i := 0; i < helpers; i++ {
 		select {
@@ -118,7 +140,13 @@ func (p *pool) dispatch(j *job, helpers int) {
 			i = helpers
 		}
 	}
-	j.run()
+	claimed := j.run()
+	if obs.Enabled {
+		obs.RecordCursorMiss(1)
+		if claimed > 0 {
+			obs.RecordWorkerBlocks(0, uint64(claimed))
+		}
+	}
 	<-j.done
 }
 

@@ -97,6 +97,11 @@ func (s *ShardedSet) Capacity() int { return s.t.Size() }
 // NumShards returns the shard count (a power of two).
 func (s *ShardedSet) NumShards() int { return s.t.NumShards() }
 
+// ShardStats returns the per-shard element counts and their spread
+// (read phase). Imbalance() is Max over mean — 1.0 is perfect balance,
+// and the owner-computes kernels' critical path scales with it.
+func (s *ShardedSet) ShardStats() core.ShardStats { return s.t.ShardStats() }
+
 // Clear empties the set (quiescent use only).
 func (s *ShardedSet) Clear() { s.t.Clear() }
 
@@ -309,5 +314,18 @@ func (m *ShardedMap32) NumShards() int {
 		return m.max.NumShards()
 	default:
 		return m.sum.NumShards()
+	}
+}
+
+// ShardStats returns the per-shard key counts and their spread (read
+// phase); see ShardedSet.ShardStats.
+func (m *ShardedMap32) ShardStats() core.ShardStats {
+	switch {
+	case m.min != nil:
+		return m.min.ShardStats()
+	case m.max != nil:
+		return m.max.ShardStats()
+	default:
+		return m.sum.ShardStats()
 	}
 }
