@@ -24,8 +24,9 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Run the phase-discipline analyzer through go vet so _test.go files
-# are covered too.
+# Run the analyzer suite (phasevet + atomicvet + detvet) through go vet
+# so _test.go files are covered too and object facts flow between
+# packages via the .vetx files.
 phasevet:
 	go build -o /tmp/phasevet-vettool ./cmd/phasevet
 	go vet -vettool=/tmp/phasevet-vettool ./...

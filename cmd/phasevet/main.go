@@ -1,17 +1,23 @@
-// Command phasevet reports phase-discipline violations in code using
-// the phasehash tables (see internal/analysis/phasevet).
+// Command phasevet is the multichecker for the phasehash analyzer
+// suite: phasevet (phase discipline, interprocedural), atomicvet
+// (atomic-vs-plain field access) and detvet (determinism lint). See
+// the internal/analysis packages for what each check does.
 //
 // It runs in two modes:
 //
-//   - Standalone (singlechecker-style): given go-tool package patterns
-//     it loads the packages from source and reports diagnostics.
+//   - Standalone (multichecker-style): given go-tool package patterns
+//     it loads the packages from source — including the full
+//     module-local dependency closure, in dependency order, so
+//     cross-package facts flow — and reports diagnostics for the
+//     requested packages.
 //
 //     go run ./cmd/phasevet ./...
 //
 //   - Vet tool (unitchecker protocol): when invoked by the go command
 //     with a *.cfg file it type-checks the unit from export data, so
 //     it plugs into the standard vet driver — including _test.go
-//     files, which the standalone mode does not load:
+//     files, which the standalone mode does not load. Facts travel in
+//     the .vetx files the go command threads between units:
 //
 //     go build -o /tmp/phasevet ./cmd/phasevet
 //     go vet -vettool=/tmp/phasevet ./...
@@ -26,8 +32,9 @@ import (
 	"sort"
 	"strings"
 
+	"phasehash/internal/analysis/framework"
 	"phasehash/internal/analysis/load"
-	"phasehash/internal/analysis/phasevet"
+	"phasehash/internal/analysis/suite"
 	"phasehash/internal/analysis/unitvet"
 )
 
@@ -36,11 +43,18 @@ func main() {
 	// go vet probes its tool with -V=full and -flags before sending
 	// unit configs; unitvet answers those and *.cfg units.
 	if unitvet.Handles(args) {
-		unitvet.Main(phasevet.PhaseVet, args)
+		unitvet.Main(suite.Analyzers(), args)
 		return
 	}
 	if len(args) == 0 || args[0] == "-h" || args[0] == "--help" || args[0] == "help" {
-		fmt.Fprintf(os.Stderr, "usage: phasevet <package patterns>\n\n%s\n", phasevet.PhaseVet.Doc)
+		fmt.Fprintf(os.Stderr, "usage: phasevet <package patterns>\n\nAnalyzers:\n")
+		for _, a := range suite.Analyzers() {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, doc)
+		}
 		os.Exit(2)
 	}
 	os.Exit(standalone(args))
@@ -55,7 +69,19 @@ func standalone(patterns []string) int {
 	if err != nil {
 		fatal(err)
 	}
-	pkgs, err := loader.LoadPatterns(cwd, patterns...)
+	// The requested packages determine what gets *reported*; the whole
+	// module-local dependency closure gets *analyzed*, in dependency
+	// order, so cross-package facts (phase effects, atomic shadow
+	// sets, nondeterminism summaries) reach their importers.
+	requested, err := load.List(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	want := map[string]bool{}
+	for _, lp := range requested {
+		want[lp.ImportPath] = true
+	}
+	pkgs, err := loader.LoadDepsOrdered(cwd, patterns...)
 	if err != nil {
 		fatal(err)
 	}
@@ -63,22 +89,17 @@ func standalone(patterns []string) int {
 		pos token.Position
 		msg string
 	}
-	for _, pkg := range pkgs {
-		pass := &phasevet.Pass{
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			Report: func(d phasevet.Diagnostic) {
-				diags = append(diags, struct {
-					pos token.Position
-					msg string
-				}{pkg.Fset.Position(d.Pos), d.Message})
-			},
+	err = suite.Run(pkgs, suite.Analyzers(), framework.NewMemFacts(), func(f suite.Finding) {
+		if !want[f.Pkg.Path] {
+			return
 		}
-		if _, err := phasevet.PhaseVet.Run(pass); err != nil {
-			fatal(err)
-		}
+		diags = append(diags, struct {
+			pos token.Position
+			msg string
+		}{f.Pkg.Fset.Position(f.Diag.Pos), f.Diag.Message})
+	})
+	if err != nil {
+		fatal(err)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].pos, diags[j].pos

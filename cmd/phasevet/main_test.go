@@ -96,6 +96,113 @@ func main() {
 	}
 }
 
+// TestVettoolCrossPackageFacts drives `go vet -vettool` against a
+// two-package scratch module: the wrapper helpers live in fixture/wrap
+// and every table operation in main goes through them, so the
+// violation is only visible if wrap's inferred phase effects travel to
+// main's unit through the .vetx fact files. The "via Snapshot" text in
+// the diagnostic proves the imported fact, not local analysis, fired.
+func TestVettoolCrossPackageFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and invokes the go tool")
+	}
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "phasevet")
+	if out, err := exec.Command("go", "build", "-o", tool, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building phasevet: %v\n%s", err, out)
+	}
+
+	fixture := filepath.Join(tmp, "fixture")
+	if err := os.MkdirAll(filepath.Join(fixture, "wrap"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	gomod := `module fixture
+
+go 1.22
+
+require phasehash v0.0.0-00010101000000-000000000000
+
+replace phasehash => ` + repoRoot + "\n"
+	if err := os.WriteFile(filepath.Join(fixture, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wrap := `package wrap
+
+import "phasehash"
+
+// Fill runs a synchronous insert phase.
+func Fill(s *phasehash.Set, vs []uint64) {
+	for _, v := range vs {
+		s.Insert(v)
+	}
+}
+
+// Snapshot captures the element set.
+func Snapshot(s *phasehash.Set) []uint64 {
+	return s.Elements()
+}
+`
+	if err := os.WriteFile(filepath.Join(fixture, "wrap", "wrap.go"), []byte(wrap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := `package main
+
+import (
+	"fixture/wrap"
+
+	"phasehash"
+)
+
+func main() {
+	s := phasehash.NewSet(64)
+	go s.Insert(1)
+	_ = wrap.Snapshot(s)
+}
+`
+	if err := os.WriteFile(filepath.Join(fixture, "main.go"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	vet := func() (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+		cmd.Dir = fixture
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+	out, err := vet()
+	if err == nil {
+		t.Fatalf("go vet succeeded on a cross-package phase violation; output:\n%s", out)
+	}
+	if !strings.Contains(out, "phase violation") || !strings.Contains(out, "via Snapshot") {
+		t.Fatalf("go vet output does not report the violation through the imported fact:\n%s", out)
+	}
+
+	good := `package main
+
+import (
+	"fixture/wrap"
+
+	"phasehash"
+)
+
+func main() {
+	s := phasehash.NewSet(64)
+	wrap.Fill(s, []uint64{1, 2})
+	_ = wrap.Snapshot(s)
+}
+`
+	if err := os.WriteFile(filepath.Join(fixture, "main.go"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := vet(); err != nil {
+		t.Fatalf("go vet failed on disciplined cross-package code: %v\n%s", err, out)
+	}
+}
+
 // TestStandaloneCleanOnRepo runs the standalone (source-loading) mode
 // over this repository, which must stay phase-clean.
 func TestStandaloneCleanOnRepo(t *testing.T) {

@@ -1,0 +1,179 @@
+// Package atest is the shared test harness for the analyzer suite: an
+// analysistest-style corpus runner that checks reported diagnostics
+// against `// want` annotations in the fixture sources.
+//
+// A want annotation is a backquoted regexp on the line the diagnostic
+// is expected:
+//
+//	s.Delete(1) // want `mixedphases`
+//
+// Every diagnostic must match a want on its line, every want must be
+// matched by a diagnostic, and the set of produced categories must
+// equal the case's expected categories (so a fixture cannot silently
+// start exercising the wrong check).
+package atest
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"phasehash/internal/analysis/framework"
+	"phasehash/internal/analysis/load"
+)
+
+// RunCorpus loads the fixture package in dir under the given import
+// path, runs the analyzer with a fresh fact store, and checks the
+// diagnostics against the fixture's want annotations and the expected
+// category set. Extra dependency packages must be registered on the
+// loader (loader.Map) and analyzed first via AnalyzeDep when facts
+// should flow.
+func RunCorpus(t *testing.T, loader *load.Loader, a *framework.Analyzer, pkgPath, dir string, categories []string, facts framework.FactStore) {
+	t.Helper()
+	pkg, err := loader.LoadDir(pkgPath, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Analyze(t, a, pkg, facts)
+	CheckWants(t, pkg.Fset, dir, diags, categories)
+}
+
+// Analyze runs one analyzer over one loaded package, returning its
+// diagnostics.
+func Analyze(t *testing.T, a *framework.Analyzer, pkg *load.Package, facts framework.FactStore) []framework.Diagnostic {
+	t.Helper()
+	var diags []framework.Diagnostic
+	pass := &framework.Pass{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Facts:     facts,
+		Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// AnalyzeDep runs the analyzer over a dependency fixture package,
+// discarding diagnostics; its purpose is populating the fact store so
+// a dependent fixture sees cross-package facts.
+func AnalyzeDep(t *testing.T, loader *load.Loader, a *framework.Analyzer, pkgPath, dir string, facts framework.FactStore) {
+	t.Helper()
+	pkg, err := loader.LoadDir(pkgPath, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &framework.Pass{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Facts:     facts,
+		Report:    func(framework.Diagnostic) {},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CheckWants verifies diagnostics against the want annotations in dir
+// and the expected category set.
+func CheckWants(t *testing.T, fset *token.FileSet, dir string, diags []framework.Diagnostic, categories []string) {
+	t.Helper()
+	wants, err := ParseWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCategories := map[string]bool{}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		gotCategories[d.Category] = true
+		matched := false
+		for _, w := range wants {
+			if w.File == filepath.Base(pos.Filename) && w.Line == pos.Line && !w.Matched && w.RE.MatchString(d.Message) {
+				w.Matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d [%s]: %s",
+				filepath.Base(pos.Filename), pos.Line, d.Category, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.Matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q was not reported", w.File, w.Line, w.RE)
+		}
+	}
+	for _, cat := range categories {
+		if !gotCategories[cat] {
+			t.Errorf("category %q was not exercised by %s", cat, dir)
+		}
+	}
+	for cat := range gotCategories {
+		found := false
+		for _, want := range categories {
+			if cat == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s unexpectedly produced category %q", dir, cat)
+		}
+	}
+}
+
+// Want is one expected diagnostic.
+type Want struct {
+	File    string
+	Line    int
+	RE      *regexp.Regexp
+	Matched bool
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+// ParseWants scans every fixture file in dir for `// want` annotations,
+// one backquoted regexp per occurrence.
+func ParseWants(dir string) ([]*Want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*Want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRE.FindAllStringSubmatch(sc.Text(), -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					f.Close()
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", e.Name(), line, err)
+				}
+				wants = append(wants, &Want{File: e.Name(), Line: line, RE: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+	}
+	return wants, nil
+}

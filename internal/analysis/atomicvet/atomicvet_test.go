@@ -1,0 +1,34 @@
+package atomicvet_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"phasehash/internal/analysis/atest"
+	"phasehash/internal/analysis/atomicvet"
+	"phasehash/internal/analysis/framework"
+	"phasehash/internal/analysis/load"
+)
+
+// TestCorpus checks the analyzer against the golden fixture: mixed
+// plain/atomic access, the //phasehash:serial escape hatch, a rotted
+// annotation, a reason-less annotation, and 32-bit alignment of 64-bit
+// atomic fields.
+func TestCorpus(t *testing.T) {
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", "atomcorpus")
+	atest.RunCorpus(t, loader, atomicvet.AtomicVet, "atomcorpus", dir,
+		[]string{"atomicmix", "staleserial", "badannotation", "align64"},
+		framework.NewMemFacts())
+}
+
+// TestAnalyzerMetadata pins the analyzer's name, which CI and the
+// Makefile reference.
+func TestAnalyzerMetadata(t *testing.T) {
+	if atomicvet.AtomicVet.Name != "atomicvet" {
+		t.Fatalf("analyzer name = %q", atomicvet.AtomicVet.Name)
+	}
+}

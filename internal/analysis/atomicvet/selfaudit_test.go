@@ -1,0 +1,67 @@
+package atomicvet_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"phasehash/internal/analysis/atomicvet"
+	"phasehash/internal/analysis/framework"
+	"phasehash/internal/analysis/load"
+)
+
+// TestRepoIsAtomicClean mirrors phasevet's self-audit: run atomicvet
+// over every package of the module in dependency order with a shared
+// fact store and require zero diagnostics, while checking the analysis
+// actually engaged — the core tables shadow fields through atomic
+// access, and the serial probe kernels carry exercised
+// //phasehash:serial annotations.
+func TestRepoIsAtomicClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module from source")
+	}
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadDepsOrdered(loader.ModuleDir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; expected the whole module", len(pkgs))
+	}
+	facts := framework.NewMemFacts()
+	shadowed, serial := 0, 0
+	for _, pkg := range pkgs {
+		pass := &framework.Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Facts:     facts,
+			Report: func(d framework.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				rel, err := filepath.Rel(loader.ModuleDir, pos.Filename)
+				if err != nil {
+					rel = pos.Filename
+				}
+				t.Errorf("%s:%d: [%s] %s", rel, pos.Line, d.Category, d.Message)
+			},
+		}
+		res, err := atomicvet.AtomicVet.Run(pass)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r, ok := res.(*atomicvet.Result); ok {
+			shadowed += len(r.ShadowedFields)
+			serial += len(r.SerialFuncs)
+		}
+	}
+	t.Logf("shadowed fields: %d, exercised serial annotations: %d", shadowed, serial)
+	if shadowed < 5 {
+		t.Errorf("only %d atomic-shadowed fields across the module; the shadow collection may have regressed", shadowed)
+	}
+	if serial < 8 {
+		t.Errorf("only %d exercised //phasehash:serial annotations; the sanction path may have regressed", serial)
+	}
+}

@@ -1,0 +1,417 @@
+// Package detvet lints for nondeterminism in code that must be
+// deterministic.
+//
+// The paper's point is that phase-concurrent tables make parallel
+// algorithms *deterministic*: same input, same output, regardless of
+// schedule. That guarantee is only as strong as the code around the
+// tables — a single `for k := range m` whose iteration order leaks
+// into a result, a time.Now() folded into a key, or a math/rand call
+// in a kernel silently voids it. detvet walks every function reachable
+// from the deterministic roots (the core bulk kernels, the detres
+// determinism harness, and the tables kind registry) and reports:
+//
+//	maporder:    map iteration order leaking into results (append,
+//	             channel send, or order-dependent indexed writes
+//	             inside a map range; writes keyed by the range
+//	             variables are fine)
+//	walltime:    time.Now / time.Since on a deterministic path
+//	randomness:  math/rand (v1 or v2) on a deterministic path
+//	syncmap:     sync.Map.Range, whose order is unspecified
+//
+// Uses are propagated through calls (to a fixed point in-package, via
+// object facts across packages), so a helper's time.Now is reported at
+// the root's call site with the chain named. A deliberate exception is
+// annotated //phasehash:nondet <reason> — on the offending line or on
+// the function declaration; the annotation is itself checked (stale or
+// reason-less annotations are diagnostics).
+package detvet
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"phasehash/internal/analysis/framework"
+)
+
+// RootConfig decides which functions are deterministic roots: only
+// nondeterminism reachable from a root is reported (helpers shared
+// with non-deterministic tooling are fine until a root pulls them in).
+type RootConfig struct {
+	IsRoot func(pkgPath string, fn *types.Func) bool
+}
+
+// DefaultRoots covers the determinism surface of this repo: every
+// exported function and method of internal/core (the bulk kernels and
+// tables), and all of internal/detres and internal/tables (the
+// determinism harness and the kind registry it drives).
+var DefaultRoots = RootConfig{IsRoot: func(pkgPath string, fn *types.Func) bool {
+	pkgPath = framework.NormalizePkgPath(pkgPath)
+	switch {
+	case pkgPath == "phasehash/internal/detres" || strings.HasPrefix(pkgPath, "phasehash/internal/detres/"):
+		return true
+	case pkgPath == "phasehash/internal/tables" || strings.HasPrefix(pkgPath, "phasehash/internal/tables/"):
+		return true
+	case pkgPath == "phasehash/internal/core":
+		return fn.Exported()
+	}
+	return false
+}}
+
+// DetVet is the analyzer instance the multichecker runs.
+var DetVet = NewAnalyzer(DefaultRoots)
+
+// NewAnalyzer returns a detvet instance with a custom root predicate
+// (the corpus tests use roots named Kernel*).
+func NewAnalyzer(roots RootConfig) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name: "detvet",
+		Doc: `report nondeterminism reachable from deterministic roots
+
+Flags map-range order leaking into results, time.Now/math/rand and
+sync.Map.Range in code reachable from the deterministic kernels, with
+//phasehash:nondet <reason> as the audited escape hatch for deliberate
+exceptions.`,
+		Run: func(pass *framework.Pass) (interface{}, error) {
+			return run(pass, roots)
+		},
+	}
+}
+
+// Result is returned by Run for the self-audit test's vacuousness
+// check.
+type Result struct {
+	// Roots are the deterministic root functions found in the package.
+	Roots []string
+	// NondetFuncs counts functions with at least one (direct or
+	// derived, sanctioned or not) nondeterministic use.
+	NondetFuncs int
+}
+
+// nondetUse is one nondeterminism source visible in a function.
+type nondetUse struct {
+	Kind string `json:"kind"` // maporder | walltime | randomness | syncmap
+	Desc string `json:"desc"`
+	// pos is where the use enters this function: the source line for a
+	// direct use, the call site for one inherited from a callee.
+	pos token.Pos
+}
+
+// funcInfo is the per-function analysis state.
+type funcInfo struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	// uses collects direct + derived nondet uses.
+	uses []nondetUse
+	// calls are the resolvable call sites, for propagation.
+	calls []callSite
+	// sanctioned: the declaration carries //phasehash:nondet <reason>;
+	// uses are neither reported nor propagated.
+	sanctioned bool
+	ann        framework.Annotation
+	hasAnn     bool
+	// inTest: declared in a _test.go file — never a root, and its
+	// annotations are not audited for rot.
+	inTest bool
+}
+
+type callSite struct {
+	fn  *types.Func
+	pos token.Pos
+}
+
+const maxRounds = 16
+
+func run(pass *framework.Pass, roots RootConfig) (interface{}, error) {
+	d := &detvet{pass: pass, byFn: map[*types.Func]*funcInfo{}, imported: map[*types.Func][]nondetUse{}}
+	for _, f := range pass.Files {
+		// Test files never become deterministic roots: tests and
+		// benchmarks legitimately read the clock (testing.B timers,
+		// t.Fatalf plumbing) and their helpers exist to poke at
+		// internals. Their facts still propagate via the funcs below.
+		inTest := framework.IsTestFile(pass.Fset, f)
+		lineSanctions := map[int]bool{}
+		for _, a := range framework.ScanAnnotations(pass.Fset, f) {
+			if a.Verb == "nondet" {
+				lineSanctions[a.Line] = true
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{fn: fn, decl: fd, inTest: inTest}
+			fi.ann, fi.hasAnn = framework.FuncAnnotation(pass.Fset, fd, "nondet")
+			if fi.hasAnn {
+				fi.sanctioned = true
+				if fi.ann.Arg == "" && !inTest {
+					pass.Reportf(fi.ann.Pos, "badannotation",
+						"//phasehash:nondet requires a reason explaining why the nondeterminism is acceptable")
+				}
+			}
+			d.scanBody(fi, lineSanctions)
+			d.funcs = append(d.funcs, fi)
+			d.byFn[fn] = fi
+		}
+	}
+	d.propagate()
+	d.export()
+
+	res := &Result{}
+	reported := map[string]bool{}
+	for _, fi := range d.funcs {
+		if fi.hasAnn && len(fi.uses) == 0 && !fi.inTest {
+			pass.Reportf(fi.ann.Pos, "stalenondet",
+				"//phasehash:nondet on %s, but nothing nondeterministic is reachable from its body; the annotation has rotted and should be removed", fi.fn.Name())
+		}
+		if len(fi.uses) > 0 {
+			res.NondetFuncs++
+		}
+		if fi.inTest || roots.IsRoot == nil || !roots.IsRoot(pass.Pkg.Path(), fi.fn) {
+			continue
+		}
+		res.Roots = append(res.Roots, fi.fn.Name())
+		if fi.sanctioned {
+			continue
+		}
+		for _, u := range fi.uses {
+			k := fmt.Sprintf("%d|%s", u.pos, u.Kind)
+			if reported[k] {
+				continue
+			}
+			reported[k] = true
+			pass.Reportf(u.pos, u.Kind,
+				"nondeterminism in deterministic path %s: %s; make the result order-independent, or annotate //phasehash:nondet <reason> if deliberate",
+				fi.fn.Name(), u.Desc)
+		}
+	}
+	sort.Strings(res.Roots)
+	return res, nil
+}
+
+type detvet struct {
+	pass     *framework.Pass
+	funcs    []*funcInfo
+	byFn     map[*types.Func]*funcInfo
+	imported map[*types.Func][]nondetUse
+}
+
+// scanBody records a function's direct nondet uses and its call sites.
+// Closures are scanned as part of the enclosing declaration: a kernel
+// is as nondeterministic as the closures it runs.
+func (d *detvet) scanBody(fi *funcInfo, lineSanctions map[int]bool) {
+	info := d.pass.TypesInfo
+	sanctionedLine := func(pos token.Pos) bool {
+		return lineSanctions[d.pass.Fset.Position(pos).Line]
+	}
+	add := func(kind, desc string, pos token.Pos) {
+		if sanctionedLine(pos) {
+			return
+		}
+		fi.uses = append(fi.uses, nondetUse{Kind: kind, Desc: desc, pos: pos})
+	}
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, x)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := framework.NormalizePkgPath(fn.Pkg().Path())
+			switch {
+			case path == "time" && (fn.Name() == "Now" || fn.Name() == "Since"):
+				add("walltime", "time."+fn.Name()+" on a deterministic path", x.Pos())
+			case path == "math/rand" || path == "math/rand/v2":
+				add("randomness", "math/rand."+fn.Name()+" on a deterministic path", x.Pos())
+			case isSyncMapRange(fn):
+				add("syncmap", "sync.Map.Range iterates in unspecified order", x.Pos())
+			default:
+				fi.calls = append(fi.calls, callSite{fn: fn.Origin(), pos: x.Pos()})
+			}
+		case *ast.RangeStmt:
+			t := info.TypeOf(x.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap && rangeLeaksOrder(info, x) {
+				add("maporder", "iteration order of "+types.TypeString(t, types.RelativeTo(d.pass.Pkg))+" leaks into the result", x.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// rangeLeaksOrder reports whether a map range's body is sensitive to
+// iteration order: appends, channel sends, or indexed writes whose
+// index is not a range variable. Writes keyed by the range variables
+// (out[k] = v) land in the same place in any order and are fine.
+func rangeLeaksOrder(info *types.Info, rs *ast.RangeStmt) bool {
+	rangeVar := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.ObjectOf(id); obj != nil {
+				rangeVar[obj] = true
+			}
+		}
+	}
+	indexedByRangeVar := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && rangeVar[info.ObjectOf(id)]
+	}
+	leak := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					leak = true
+				}
+			}
+		case *ast.SendStmt:
+			leak = true
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				ie, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if !indexedByRangeVar(ie.Index) {
+					leak = true
+				}
+			}
+		}
+		return !leak
+	})
+	return leak
+}
+
+// propagate folds callee uses into callers to a fixed point: a direct
+// time.Now in helper() becomes a walltime use of every caller, at the
+// call site, with the chain named.
+func (d *detvet) propagate() {
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, fi := range d.funcs {
+			have := map[string]bool{}
+			for _, u := range fi.uses {
+				have[fmt.Sprintf("%d|%s|%s", u.pos, u.Kind, u.Desc)] = true
+			}
+			for _, cs := range fi.calls {
+				for _, u := range d.usesOf(cs.fn) {
+					desc := cs.fn.Name() + " → "
+					if strings.Contains(u.Desc, "→") {
+						desc += "…"
+					} else {
+						desc += u.Desc
+					}
+					k := fmt.Sprintf("%d|%s|%s", cs.pos, u.Kind, desc)
+					if have[k] {
+						continue
+					}
+					have[k] = true
+					fi.uses = append(fi.uses, nondetUse{Kind: u.Kind, Desc: desc, pos: cs.pos})
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// usesOf returns the propagatable uses of a callee: in-package state,
+// or an imported fact for other packages. Sanctioned functions
+// propagate nothing — the annotation absorbs the nondeterminism.
+func (d *detvet) usesOf(fn *types.Func) []nondetUse {
+	if fi, ok := d.byFn[fn]; ok {
+		if fi.sanctioned {
+			return nil
+		}
+		return fi.uses
+	}
+	if uses, ok := d.imported[fn]; ok {
+		return uses
+	}
+	var uses []nondetUse
+	if d.pass.Facts != nil && fn.Pkg() != nil && fn.Pkg() != d.pass.Pkg {
+		if key, ok := framework.ObjKey(fn); ok {
+			if data, ok := d.pass.Facts.ImportFact("detvet", framework.NormalizePkgPath(fn.Pkg().Path()), key); ok {
+				var decoded []nondetUse
+				if json.Unmarshal(data, &decoded) == nil {
+					uses = decoded
+				}
+			}
+		}
+	}
+	d.imported[fn] = uses
+	return uses
+}
+
+// export publishes each unsanctioned function's uses as object facts.
+func (d *detvet) export() {
+	if d.pass.Facts == nil {
+		return
+	}
+	pkgPath := framework.NormalizePkgPath(d.pass.Pkg.Path())
+	for _, fi := range d.funcs {
+		if fi.sanctioned || len(fi.uses) == 0 {
+			continue
+		}
+		key, ok := framework.ObjKey(fi.fn)
+		if !ok {
+			continue
+		}
+		data, err := json.Marshal(fi.uses)
+		if err != nil {
+			continue
+		}
+		d.pass.Facts.ExportFact("detvet", pkgPath, key, data)
+	}
+}
+
+func isSyncMapRange(fn *types.Func) bool {
+	if fn.Name() != "Range" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Map"
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		obj = info.ObjectOf(fun.Sel)
+	case *ast.IndexExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			obj = info.ObjectOf(id)
+		} else if sel, ok := fun.X.(*ast.SelectorExpr); ok {
+			obj = info.ObjectOf(sel.Sel)
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

@@ -1,0 +1,40 @@
+package detvet_test
+
+import (
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"phasehash/internal/analysis/atest"
+	"phasehash/internal/analysis/detvet"
+	"phasehash/internal/analysis/framework"
+	"phasehash/internal/analysis/load"
+)
+
+// TestCorpus checks the analyzer against the golden fixture with the
+// exported Kernel* functions as deterministic roots: map-order leaks,
+// wall-clock reads, randomness, sync.Map iteration, the
+// //phasehash:nondet sanction at function and line level, and rotted
+// or reason-less annotations.
+func TestCorpus(t *testing.T) {
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := detvet.RootConfig{IsRoot: func(pkgPath string, fn *types.Func) bool {
+		return pkgPath == "detcorpus" && strings.HasPrefix(fn.Name(), "Kernel")
+	}}
+	dir := filepath.Join("testdata", "src", "detcorpus")
+	atest.RunCorpus(t, loader, detvet.NewAnalyzer(roots), "detcorpus", dir,
+		[]string{"maporder", "walltime", "randomness", "syncmap", "stalenondet", "badannotation"},
+		framework.NewMemFacts())
+}
+
+// TestAnalyzerMetadata pins the analyzer's name, which CI and the
+// Makefile reference.
+func TestAnalyzerMetadata(t *testing.T) {
+	if detvet.DetVet.Name != "detvet" {
+		t.Fatalf("analyzer name = %q", detvet.DetVet.Name)
+	}
+}

@@ -1,0 +1,62 @@
+package detvet_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"phasehash/internal/analysis/detvet"
+	"phasehash/internal/analysis/framework"
+	"phasehash/internal/analysis/load"
+)
+
+// TestRepoIsDeterministic mirrors phasevet's self-audit: run detvet
+// with its default roots (bulk kernels, detres runners, table kinds)
+// over every package of the module in dependency order and require
+// zero diagnostics, while checking the analysis actually found roots —
+// a run that guarded nothing would be vacuously green.
+func TestRepoIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module from source")
+	}
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadDepsOrdered(loader.ModuleDir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; expected the whole module", len(pkgs))
+	}
+	facts := framework.NewMemFacts()
+	rootCount := 0
+	for _, pkg := range pkgs {
+		pass := &framework.Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Facts:     facts,
+			Report: func(d framework.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				rel, err := filepath.Rel(loader.ModuleDir, pos.Filename)
+				if err != nil {
+					rel = pos.Filename
+				}
+				t.Errorf("%s:%d: [%s] %s", rel, pos.Line, d.Category, d.Message)
+			},
+		}
+		res, err := detvet.DetVet.Run(pass)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r, ok := res.(*detvet.Result); ok {
+			rootCount += len(r.Roots)
+		}
+	}
+	t.Logf("deterministic roots guarded: %d", rootCount)
+	if rootCount < 10 {
+		t.Errorf("only %d deterministic roots across the module; the root config may have regressed", rootCount)
+	}
+}

@@ -1,0 +1,91 @@
+// Package detcorpus exercises detvet: code reachable from the
+// deterministic roots (the exported Kernel* functions in the test's
+// RootConfig) must not leak map iteration order, read the wall clock,
+// draw randomness, or iterate a sync.Map — unless a
+// //phasehash:nondet <reason> annotation sanctions it.
+package detcorpus
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+func KernelMapOrder(m map[uint64]uint64) []uint64 {
+	var out []uint64
+	for k, v := range m { // want `iteration order of map\[uint64\]uint64 leaks into the result`
+		out = append(out, k^v)
+	}
+	return out
+}
+
+// Writes keyed by the range variable land in the same place in any
+// iteration order: no leak.
+func KernelMapOrderOK(m map[uint64]uint64) map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func KernelTime() int64 {
+	return time.Now().UnixNano() // want `time\.Now on a deterministic path`
+}
+
+func KernelSeeded(n int) int {
+	return rand.Intn(n) // want `math/rand\.Intn on a deterministic path`
+}
+
+func KernelSyncMap(m *sync.Map) int {
+	n := 0
+	m.Range(func(_, _ any) bool { // want `sync\.Map\.Range iterates in unspecified order`
+		n++
+		return true
+	})
+	return n
+}
+
+// helperTime hides the clock one call deep; the kernel is reported at
+// its call site with the via chain in the message.
+func helperTime() int64 {
+	return time.Now().UnixNano()
+}
+
+func KernelViaHelper() int64 {
+	return helperTime() // want `helperTime → time\.Now on a deterministic path`
+}
+
+// helperUnreached is nondeterministic but not reachable from any root:
+// no diagnostic.
+func helperUnreached() int {
+	return rand.Int()
+}
+
+// KernelSanctioned documents its nondeterminism: the annotation
+// suppresses the reports.
+//
+//phasehash:nondet timing telemetry: the result is a latency sample, never a table payload
+func KernelSanctioned() int64 {
+	return time.Now().UnixNano()
+}
+
+// KernelJitter sanctions a single line instead of the whole function.
+func KernelJitter() uint64 {
+	return rand.Uint64() //phasehash:nondet seeded jitter: deliberately random backoff, never lands in a table
+}
+
+// KernelStale's annotation has rotted: nothing nondeterministic is
+// reachable from its body anymore.
+//
+//phasehash:nondet stale reason from a deleted clock read // want `annotation has rotted`
+func KernelStale(x uint64) uint64 {
+	return x * 2654435761
+}
+
+// KernelReasonless sanctions real nondeterminism but gives no reason.
+//
+//phasehash:nondet // want `requires a reason`
+func KernelReasonless(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,278 @@
+// Package framework is the minimal go/analysis-shaped core shared by
+// the phasehash analyzer suite (phasevet, atomicvet, detvet).
+//
+// The module deliberately has no dependencies, so this is a structural
+// subset of golang.org/x/tools/go/analysis: an Analyzer with a Run
+// function over a Pass carrying one package's syntax and types. On top
+// of that it adds the two pieces the suite shares:
+//
+//   - FactStore: serialized per-object facts that flow along import
+//     edges, so an analyzer running on package B can consume what it
+//     learned about package A. The standalone driver keeps facts in
+//     memory and analyzes packages in dependency order; the go vet
+//     driver (internal/analysis/unitvet) persists them in the .vetx
+//     files the go command threads between compilation units.
+//
+//   - ScanAnnotations: the //phasehash:<verb> comment grammar
+//     (serial, nondet, barrier, ignore) used by all three analyzers.
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (interface{}, error)
+}
+
+// Pass carries one package's syntax and type information to an
+// Analyzer's Run function, mirroring go/analysis.Pass.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report is called for each diagnostic found.
+	Report func(Diagnostic)
+	// Facts carries cross-package analyzer facts; may be nil, in which
+	// case analyzers fall back to intra-package information only.
+	Facts FactStore
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic in the given category.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Category: category, Message: fmt.Sprintf(format, args...)})
+}
+
+// FactStore passes serialized per-object facts between packages. Keys
+// are (analyzer name, package path, object key); values are opaque
+// bytes owned by the analyzer (the suite uses JSON). Facts flow along
+// import edges only: a package sees facts of packages analyzed before
+// it, which the drivers guarantee by processing in dependency order.
+type FactStore interface {
+	// ImportFact returns the fact an analyzer exported for an object of
+	// an already-analyzed package, or ok=false.
+	ImportFact(analyzer, pkgPath, objKey string) (data []byte, ok bool)
+	// ExportFact records a fact for an object of the current package.
+	ExportFact(analyzer, pkgPath, objKey string, data []byte)
+	// PackageFacts enumerates every fact an analyzer exported for one
+	// package (nil when none). Callers must not mutate the result.
+	PackageFacts(analyzer, pkgPath string) map[string][]byte
+}
+
+// MemFacts is the in-memory FactStore used by the standalone driver
+// and the tests, with (de)serialization hooks for the unitvet driver's
+// .vetx files.
+type MemFacts struct {
+	// pkg path -> analyzer -> object key -> fact
+	pkgs map[string]map[string]map[string][]byte
+}
+
+// NewMemFacts returns an empty fact store.
+func NewMemFacts() *MemFacts {
+	return &MemFacts{pkgs: map[string]map[string]map[string][]byte{}}
+}
+
+// ImportFact implements FactStore.
+func (m *MemFacts) ImportFact(analyzer, pkgPath, objKey string) ([]byte, bool) {
+	d, ok := m.pkgs[pkgPath][analyzer][objKey]
+	return d, ok
+}
+
+// ExportFact implements FactStore.
+func (m *MemFacts) ExportFact(analyzer, pkgPath, objKey string, data []byte) {
+	byAnalyzer := m.pkgs[pkgPath]
+	if byAnalyzer == nil {
+		byAnalyzer = map[string]map[string][]byte{}
+		m.pkgs[pkgPath] = byAnalyzer
+	}
+	byObj := byAnalyzer[analyzer]
+	if byObj == nil {
+		byObj = map[string][]byte{}
+		byAnalyzer[analyzer] = byObj
+	}
+	byObj[objKey] = data
+}
+
+// PackageFacts implements FactStore.
+func (m *MemFacts) PackageFacts(analyzer, pkgPath string) map[string][]byte {
+	return m.pkgs[pkgPath][analyzer]
+}
+
+// EncodePackage serializes every fact recorded for one package, for
+// storage in that package's .vetx file.
+func (m *MemFacts) EncodePackage(pkgPath string) ([]byte, error) {
+	byAnalyzer := m.pkgs[pkgPath]
+	out := map[string]map[string]json.RawMessage{}
+	for analyzer, byObj := range byAnalyzer {
+		enc := map[string]json.RawMessage{}
+		for obj, data := range byObj {
+			enc[obj] = json.RawMessage(data)
+		}
+		out[analyzer] = enc
+	}
+	return json.Marshal(out)
+}
+
+// DecodePackage merges facts previously serialized with EncodePackage
+// into the store under pkgPath. Empty input is not an error: fact
+// files of packages with nothing to say are empty.
+func (m *MemFacts) DecodePackage(pkgPath string, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var in map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("framework: decoding facts for %s: %w", pkgPath, err)
+	}
+	for analyzer, byObj := range in {
+		for obj, raw := range byObj {
+			m.ExportFact(analyzer, pkgPath, obj, []byte(raw))
+		}
+	}
+	return nil
+}
+
+// ObjKey returns the stable cross-package key for a package-level
+// function or method: "Func" for a package function, "Type.Method"
+// for a method (by the receiver's base type name). Closures and
+// instantiated generics have no key; pass their Origin.
+func ObjKey(fn *types.Func) (string, bool) {
+	if fn == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return "", false
+	}
+	if recv := sig.Recv(); recv != nil {
+		rt := recv.Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		named, ok := rt.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		return named.Obj().Name() + "." + fn.Name(), true
+	}
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	if fn.Pkg().Scope().Lookup(fn.Name()) != fn {
+		// Not a package-level function (init funcs, instantiation
+		// artifacts): no stable cross-package identity.
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// NormalizePkgPath strips the test-variant suffix go vet uses for test
+// compilation units ("phasehash [phasehash.test]" -> "phasehash").
+func NormalizePkgPath(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+// Annotation is one //phasehash:<verb> comment. The grammar:
+//
+//	//phasehash:barrier           (phasevet: happens-before edge here)
+//	//phasehash:ignore            (phasevet: suppress this line)
+//	//phasehash:serial <reason>   (atomicvet: exclusive-access escape hatch)
+//	//phasehash:nondet <reason>   (detvet: sanctioned nondeterminism)
+//
+// The verb is the token up to the first space; everything after it is
+// the argument (the required reason string for serial/nondet).
+type Annotation struct {
+	Verb string
+	Arg  string
+	Pos  token.Pos
+	End  token.Pos
+	Line int
+}
+
+// annotationPrefix is the comment marker shared by the suite.
+const annotationPrefix = "//phasehash:"
+
+// ScanAnnotations collects every //phasehash: annotation of a file.
+func ScanAnnotations(fset *token.FileSet, f *ast.File) []Annotation {
+	var anns []Annotation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, annotationPrefix)
+			if !ok {
+				continue
+			}
+			verb, arg, _ := strings.Cut(rest, " ")
+			anns = append(anns, Annotation{
+				Verb: verb,
+				Arg:  trimWant(arg),
+				Pos:  c.Pos(),
+				End:  c.End(),
+				Line: fset.Position(c.Pos()).Line,
+			})
+		}
+	}
+	return anns
+}
+
+// IsTestFile reports whether f was parsed from a _test.go file.
+// Analyzers whose properties only hold for production code (serial
+// test execution makes plain access and wall-clock reads benign) use
+// this to exempt test files from reporting while still collecting
+// facts from them.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// trimWant strips a trailing `// want ...` marker from an annotation
+// argument so analyzer test fixtures can place expected-diagnostic
+// annotations on the same line as the annotation under test.
+func trimWant(arg string) string {
+	if i := strings.Index(arg, "// want"); i >= 0 {
+		arg = arg[:i]
+	}
+	return strings.TrimSpace(arg)
+}
+
+// FuncAnnotation returns the first annotation with the given verb in a
+// function declaration's doc comment, or ok=false.
+func FuncAnnotation(fset *token.FileSet, decl *ast.FuncDecl, verb string) (Annotation, bool) {
+	if decl.Doc == nil {
+		return Annotation{}, false
+	}
+	for _, c := range decl.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, annotationPrefix)
+		if !ok {
+			continue
+		}
+		v, arg, _ := strings.Cut(rest, " ")
+		if v == verb {
+			return Annotation{
+				Verb: v,
+				Arg:  trimWant(arg),
+				Pos:  c.Pos(),
+				Line: fset.Position(c.Pos()).Line,
+			}, true
+		}
+	}
+	return Annotation{}, false
+}

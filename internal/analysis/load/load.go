@@ -42,9 +42,10 @@ type Loader struct {
 	ModuleDir  string
 	Fset       *token.FileSet
 
-	std  types.Importer
-	pkgs map[string]*Package
-	fail map[string]error
+	std   types.Importer
+	pkgs  map[string]*Package
+	fail  map[string]error
+	extra map[string]string // import path -> source dir overrides
 }
 
 // NewLoader returns a loader rooted at the module containing dir.
@@ -61,8 +62,13 @@ func NewLoader(dir string) (*Loader, error) {
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       map[string]*Package{},
 		fail:       map[string]error{},
+		extra:      map[string]string{},
 	}, nil
 }
+
+// Map registers dir as the source directory for an import path outside
+// the module tree, so corpus fixture packages can import each other.
+func (l *Loader) Map(path, dir string) { l.extra[path] = dir }
 
 // findModule walks up from dir to the enclosing go.mod and returns the
 // module root directory and module path.
@@ -93,6 +99,13 @@ func findModule(dir string) (root, modpath string, err error) {
 // Import implements types.Importer: module-local paths load from
 // source under the module root; everything else is standard library.
 func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir, ok := l.extra[path]; ok {
+		pkg, err := l.LoadDir(path, dir, nil)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
 	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
 		pkg, err := l.LoadDir(path, filepath.Join(l.ModuleDir, filepath.FromSlash(rel)), nil)
@@ -201,6 +214,59 @@ func (l *Loader) LoadPatterns(dir string, patterns ...string) ([]*Package, error
 	}
 	var pkgs []*Package
 	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.LoadDir(lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// ListDeps lists the packages matching the patterns plus their
+// transitive dependencies in dependency order (each package after all
+// of its imports), as `go list -deps` guarantees.
+func ListDeps(dir string, patterns ...string) ([]ListedPackage, error) {
+	args := append([]string{"list", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list -deps %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []ListedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -deps: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadDepsOrdered loads every module-local package in the transitive
+// dependency closure of the patterns, in dependency order — the order
+// fact-consuming analyzers must process packages in, so each package
+// sees the facts of everything it imports.
+func (l *Loader) LoadDepsOrdered(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := ListDeps(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.ImportPath != l.ModulePath && !strings.HasPrefix(lp.ImportPath, l.ModulePath+"/") {
+			continue
+		}
 		if len(lp.GoFiles) == 0 {
 			continue
 		}

@@ -9,47 +9,35 @@
 // compile time by tracking, within each function body, which phases
 // may still be in flight on each table when the next operation starts.
 //
+// Since phasevet 2.0 the analysis is interprocedural: a function whose
+// body (transitively) performs insert-phase table operations *is* an
+// insert-phase operation at its call sites. Summaries ("effects") are
+// inferred per function — which phases it performs on which parameter,
+// receiver or package-level table, whether those operations are still
+// in flight when it returns, and whether it contains an internal
+// happens-before barrier — propagated to a fixed point within each
+// package and exported across packages as object facts through
+// framework.FactStore. Functions that bracket their operations with
+// the runtime guards (core.PhaseGuard, rooms.Rooms) are recognized as
+// runtime-checked and excluded, exactly like the Checked* wrappers'
+// absence from the fact table.
+//
 // The analyzer is modelled on golang.org/x/tools/go/analysis but is
 // self-contained (this module has no dependencies): the Analyzer,
-// Pass and Diagnostic types below are a minimal structural subset of
-// that API, so the checker could be ported to a real go/analysis
+// Pass and Diagnostic types — shared with atomicvet and detvet via
+// internal/analysis/framework — are a minimal structural subset of
+// that API, so the checkers could be ported to a real go/analysis
 // driver by swapping the types.
 package phasevet
 
 import (
-	"fmt"
-	"go/ast"
-	"go/token"
-	"go/types"
+	"phasehash/internal/analysis/framework"
 )
 
-// Analyzer describes one static check, mirroring
-// golang.org/x/tools/go/analysis.Analyzer.
-type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) (interface{}, error)
-}
-
-// Pass carries one package's syntax and type information to an
-// Analyzer's Run function, mirroring go/analysis.Pass.
-type Pass struct {
-	Fset      *token.FileSet
-	Files     []*ast.File
-	Pkg       *types.Package
-	TypesInfo *types.Info
-	// Report is called for each diagnostic found.
-	Report func(Diagnostic)
-}
-
-// Diagnostic is one finding at a position.
-type Diagnostic struct {
-	Pos      token.Pos
-	Category string
-	Message  string
-}
-
-// Reportf reports a formatted diagnostic in the given category.
-func (p *Pass) Reportf(pos token.Pos, category, format string, args ...interface{}) {
-	p.Report(Diagnostic{Pos: pos, Category: category, Message: fmt.Sprintf(format, args...)})
-}
+// Analyzer, Pass and Diagnostic are the framework types, re-exported
+// so existing phasevet call sites keep reading naturally.
+type (
+	Analyzer   = framework.Analyzer
+	Pass       = framework.Pass
+	Diagnostic = framework.Diagnostic
+)

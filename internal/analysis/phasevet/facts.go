@@ -2,7 +2,9 @@ package phasevet
 
 import (
 	"go/types"
-	"strings"
+	"sort"
+
+	"phasehash/internal/analysis/framework"
 )
 
 // Phase is the analyzer's classification of a table method. It mirrors
@@ -236,11 +238,41 @@ func init() {
 
 // normalizePkgPath strips the test-variant suffix go vet uses for test
 // compilation units ("phasehash [phasehash.test]" -> "phasehash").
-func normalizePkgPath(p string) string {
-	if i := strings.Index(p, " ["); i >= 0 {
-		return p[:i]
+func normalizePkgPath(p string) string { return framework.NormalizePkgPath(p) }
+
+// FactRef is one entry of the method fact table, exported so tests can
+// cross-check every entry against the real method sets of the named
+// types — a renamed or removed method must fail the check rather than
+// silently stop matching.
+type FactRef struct {
+	Pkg    string // package path, e.g. "phasehash/internal/core"
+	Type   string // receiver type name
+	Method string
+	// Neutral marks phaseNeutral allowlist entries (methods declared
+	// exempt from the discipline) rather than phase facts.
+	Neutral bool
+}
+
+// FactRefs returns every fact-table and phase-neutral entry, sorted.
+func FactRefs() []FactRef {
+	var refs []FactRef
+	for k := range phaseFacts {
+		refs = append(refs, FactRef{Pkg: k.pkg, Type: k.typ, Method: k.method})
 	}
-	return p
+	for k := range phaseNeutral {
+		refs = append(refs, FactRef{Pkg: k.pkg, Type: k.typ, Method: k.method, Neutral: true})
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		a, b := refs[i], refs[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.Method < b.Method
+	})
+	return refs
 }
 
 // classify returns the phase fact for a called method object, or

@@ -1,14 +1,12 @@
 package phasevet_test
 
 import (
-	"bufio"
-	"fmt"
-	"os"
 	"path/filepath"
-	"regexp"
 	"strings"
 	"testing"
 
+	"phasehash/internal/analysis/atest"
+	"phasehash/internal/analysis/framework"
 	"phasehash/internal/analysis/load"
 	"phasehash/internal/analysis/phasevet"
 )
@@ -36,114 +34,59 @@ func TestCorpus(t *testing.T) {
 		{"bulk", []string{"mixedphases", "gomix"}},
 		{"sharded", []string{"mixedphases", "gomix"}},
 		{"obsstats", []string{"mixedphases", "readcapture"}},
+		{"helpers", []string{"mixedphases", "readcapture", "gomix"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.pkg, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", tc.pkg)
-			pkg, err := loader.LoadDir(tc.pkg, dir, nil)
-			if err != nil {
-				t.Fatal(err)
-			}
-			var diags []phasevet.Diagnostic
-			pass := &phasevet.Pass{
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-				Report:    func(d phasevet.Diagnostic) { diags = append(diags, d) },
-			}
-			if _, err := phasevet.PhaseVet.Run(pass); err != nil {
-				t.Fatal(err)
-			}
-			wants, err := parseWants(dir)
-			if err != nil {
-				t.Fatal(err)
-			}
-			gotCategories := map[string]bool{}
-			for _, d := range diags {
-				pos := pkg.Fset.Position(d.Pos)
-				gotCategories[d.Category] = true
-				matched := false
-				for _, w := range wants {
-					if w.file == filepath.Base(pos.Filename) && w.line == pos.Line && !w.matched && w.re.MatchString(d.Message) {
-						w.matched = true
-						matched = true
-						break
-					}
-				}
-				if !matched {
-					t.Errorf("unexpected diagnostic at %s:%d [%s]: %s",
-						filepath.Base(pos.Filename), pos.Line, d.Category, d.Message)
-				}
-			}
-			for _, w := range wants {
-				if !w.matched {
-					t.Errorf("%s:%d: expected diagnostic matching %q was not reported", w.file, w.line, w.re)
-				}
-			}
-			for _, cat := range tc.categories {
-				if !gotCategories[cat] {
-					t.Errorf("category %q was not exercised by package %s", cat, tc.pkg)
-				}
-			}
-			for cat := range gotCategories {
-				found := false
-				for _, want := range tc.categories {
-					if cat == want {
-						found = true
-					}
-				}
-				if !found {
-					t.Errorf("package %s unexpectedly produced category %q", tc.pkg, cat)
-				}
-			}
+			atest.RunCorpus(t, loader, phasevet.PhaseVet, tc.pkg, dir, tc.categories, framework.NewMemFacts())
 		})
 	}
 }
 
-type wantAnnotation struct {
-	file    string
-	line    int
-	re      *regexp.Regexp
-	matched bool
-}
-
-var wantRE = regexp.MustCompile("// want `([^`]+)`")
-
-// parseWants scans every corpus file for `// want` annotations, one
-// backquoted regexp per line.
-func parseWants(dir string) ([]*wantAnnotation, error) {
-	entries, err := os.ReadDir(dir)
+// TestCrossPackageInference is the acceptance case for interprocedural
+// phasevet: every violation in the crosspkg fixture hides its table
+// operations behind wrapperlib helpers, so the old intraprocedural
+// analyzer (NewAnalyzer(false)) provably misses all of them, while the
+// fact-propagating analyzer reports each one.
+func TestCrossPackageInference(t *testing.T) {
+	loader, err := load.NewLoader(".")
 	if err != nil {
-		return nil, err
+		t.Fatal(err)
 	}
-	var wants []*wantAnnotation
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
-		if err != nil {
-			return nil, err
-		}
-		sc := bufio.NewScanner(f)
-		for line := 1; sc.Scan(); line++ {
-			for _, m := range wantRE.FindAllStringSubmatch(sc.Text(), -1) {
-				re, err := regexp.Compile(m[1])
-				if err != nil {
-					f.Close()
-					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", e.Name(), line, err)
-				}
-				wants = append(wants, &wantAnnotation{file: e.Name(), line: line, re: re})
-			}
-		}
-		if err := sc.Err(); err != nil {
-			f.Close()
-			return nil, err
-		}
-		f.Close()
+	wrapDir := filepath.Join("testdata", "src", "wrapperlib")
+	crossDir := filepath.Join("testdata", "src", "crosspkg")
+	loader.Map("wrapperlib", wrapDir)
+
+	facts := framework.NewMemFacts()
+	wrapPkg, err := loader.LoadDir("wrapperlib", wrapDir, nil)
+	if err != nil {
+		t.Fatal(err)
 	}
-	return wants, nil
+	wrapDiags := atest.Analyze(t, phasevet.PhaseVet, wrapPkg, facts)
+	if len(wrapDiags) != 0 {
+		t.Fatalf("wrapperlib should be clean on its own, got %d diagnostics", len(wrapDiags))
+	}
+
+	crossPkg, err := loader.LoadDir("crosspkg", crossDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interDiags := atest.Analyze(t, phasevet.PhaseVet, crossPkg, facts)
+	atest.CheckWants(t, crossPkg.Fset, crossDir, interDiags, []string{"mixedphases", "readcapture"})
+	if len(interDiags) == 0 {
+		t.Fatal("interprocedural phasevet reported nothing on crosspkg")
+	}
+
+	// Same fixture, intraprocedural mode: zero findings. This is the
+	// blind spot the fact propagation exists to close.
+	old := phasevet.NewAnalyzer(false)
+	oldDiags := atest.Analyze(t, old, crossPkg, framework.NewMemFacts())
+	for _, d := range oldDiags {
+		pos := crossPkg.Fset.Position(d.Pos)
+		t.Errorf("intraprocedural phasevet unexpectedly reported %s:%d [%s]; the corpus no longer demonstrates the interprocedural gain",
+			filepath.Base(pos.Filename), pos.Line, d.Category)
+	}
 }
 
 // TestAnalyzerMetadata pins the analyzer's name, which CI and the

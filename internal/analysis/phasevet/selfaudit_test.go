@@ -4,15 +4,17 @@ import (
 	"path/filepath"
 	"testing"
 
+	"phasehash/internal/analysis/framework"
 	"phasehash/internal/analysis/load"
 	"phasehash/internal/analysis/phasevet"
 )
 
 // TestRepoIsPhaseClean runs the analyzer over every package of this
-// module and requires zero diagnostics — the same gate CI applies with
-// `go vet -vettool` — while also checking the analyzer actually
-// classified a meaningful number of table operations, so a silent
-// fact-table regression cannot make the gate vacuously green.
+// module in dependency order with a shared fact store — the same setup
+// CI applies with `go vet -vettool` — and requires zero diagnostics,
+// while also checking the analyzer actually classified a meaningful
+// number of table operations, so a silent fact-table regression cannot
+// make the gate vacuously green.
 func TestRepoIsPhaseClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads the whole module from source")
@@ -21,13 +23,14 @@ func TestRepoIsPhaseClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs, err := loader.LoadPatterns(loader.ModuleDir, "./...")
+	pkgs, err := loader.LoadDepsOrdered(loader.ModuleDir, "./...")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; expected the whole module", len(pkgs))
 	}
+	facts := framework.NewMemFacts()
 	totalOps := 0
 	for _, pkg := range pkgs {
 		pass := &phasevet.Pass{
@@ -35,6 +38,7 @@ func TestRepoIsPhaseClean(t *testing.T) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     facts,
 			Report: func(d phasevet.Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)
 				rel, err := filepath.Rel(loader.ModuleDir, pos.Filename)

@@ -1,0 +1,48 @@
+// Package crosspkg exercises cross-package interprocedural inference:
+// every table operation here is hidden behind a wrapperlib helper, so
+// intraprocedural phasevet (NewAnalyzer(false)) is provably blind to
+// all of it — TestCrossPackageInference asserts exactly that.
+package crosspkg
+
+import (
+	"sync"
+
+	"phasehash"
+	"wrapperlib"
+)
+
+func asyncThenRead() {
+	s := phasehash.NewSet(64)
+	var wg sync.WaitGroup
+	wrapperlib.FillAsync(s, []uint64{1, 2}, &wg)
+	_ = s.Elements() // want `captured while insert-phase operations`
+	wg.Wait()
+}
+
+func helperInGoroutine() {
+	s := phasehash.NewSet(64)
+	go wrapperlib.Fill(s, []uint64{1})
+	s.Delete(1) // want `Delete \(delete phase\) on s may overlap insert-phase`
+}
+
+func snapshotDuringInsert() {
+	s := phasehash.NewSet(64)
+	go s.Insert(1)
+	_ = wrapperlib.Snapshot(s) // want `Elements via Snapshot result on s captured while insert-phase`
+}
+
+// A synchronous helper finishes before the read: clean.
+func syncHelperOK() {
+	s := phasehash.NewSet(64)
+	wrapperlib.Fill(s, []uint64{1, 2})
+	_ = s.Elements()
+}
+
+// The Join helper's inferred barrier drains the async fill: clean.
+func joinHelperOK() {
+	s := phasehash.NewSet(64)
+	var wg sync.WaitGroup
+	wrapperlib.FillAsync(s, []uint64{1}, &wg)
+	wrapperlib.Join(&wg)
+	_ = s.Elements()
+}

@@ -1,0 +1,110 @@
+// Package helpers exercises intra-package interprocedural inference:
+// functions that wrap table operations are phase operations at their
+// call sites, goroutine leaks and snapshot captures included, and a
+// helper that only joins is a barrier at its call sites.
+package helpers
+
+import (
+	"sync"
+
+	"phasehash"
+)
+
+// fill performs a synchronous insert phase on its parameter.
+func fill(s *phasehash.Set, vs []uint64) {
+	for _, v := range vs {
+		s.Insert(v)
+	}
+}
+
+// remove performs a synchronous delete phase on its parameter.
+func remove(s *phasehash.Set) {
+	s.Delete(9)
+}
+
+// startFill leaks an insert-phase goroutine on its parameter: the
+// insert is still in flight when startFill returns.
+func startFill(s *phasehash.Set, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Insert(1)
+	}()
+}
+
+// snapshot captures the element set through a helper.
+func snapshot(s *phasehash.Set) []uint64 {
+	return s.Elements()
+}
+
+// waitFor only joins: an inferred barrier at its call sites.
+func waitFor(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+func goHelperThenDelete() {
+	s := phasehash.NewSet(64)
+	go fill(s, []uint64{1, 2})
+	s.Delete(1) // want `Delete \(delete phase\) on s may overlap insert-phase operations`
+}
+
+func asyncHelperThenRead() {
+	s := phasehash.NewSet(64)
+	var wg sync.WaitGroup
+	startFill(s, &wg)
+	_ = s.Elements() // want `Elements result on s captured while insert-phase operations`
+	wg.Wait()
+}
+
+func readViaHelperDuringInsert() {
+	s := phasehash.NewSet(64)
+	go s.Insert(1)
+	_ = snapshot(s) // want `Elements via snapshot result on s captured while insert-phase`
+}
+
+func goMixViaHelper() {
+	s := phasehash.NewSet(64)
+	go s.Insert(1)
+	go remove(s) // want `Delete via remove \(delete phase\) on s inside a goroutine`
+}
+
+// wrapped hides the table behind a struct field; inference follows the
+// receiver path.
+type wrapped struct {
+	set *phasehash.Set
+}
+
+func (w *wrapped) add(v uint64) {
+	w.set.Insert(v)
+}
+
+func structFieldMix() {
+	w := &wrapped{set: phasehash.NewSet(64)}
+	go w.add(1)
+	_ = w.set.Elements() // want `captured while insert-phase operations`
+}
+
+// A synchronous helper completes before the caller continues: no
+// conflict.
+func fillThenReadOK() {
+	s := phasehash.NewSet(64)
+	fill(s, []uint64{1, 2})
+	_ = s.Elements()
+}
+
+// A join helper is a barrier: the leaked insert is drained before the
+// read.
+func helperBarrierOK() {
+	s := phasehash.NewSet(64)
+	var wg sync.WaitGroup
+	startFill(s, &wg)
+	waitFor(&wg)
+	_ = s.Elements()
+}
+
+// Two synchronous helper phases in sequence are fine.
+func fillThenRemoveOK() {
+	s := phasehash.NewSet(64)
+	fill(s, []uint64{1})
+	remove(s)
+}

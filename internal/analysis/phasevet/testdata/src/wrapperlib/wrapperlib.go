@@ -1,0 +1,38 @@
+// Package wrapperlib is the cross-package inference fixture: helpers
+// over phasehash tables whose phase effects must travel to importing
+// packages as object facts. The package is clean on its own — every
+// violation lives in the importer (see ../crosspkg).
+package wrapperlib
+
+import (
+	"sync"
+
+	"phasehash"
+)
+
+// Fill synchronously runs an insert phase over its parameter.
+func Fill(s *phasehash.Set, vs []uint64) {
+	for _, v := range vs {
+		s.Insert(v)
+	}
+}
+
+// FillAsync spawns the insert phase and returns without joining it:
+// callers must barrier before reading.
+func FillAsync(s *phasehash.Set, vs []uint64, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Fill(s, vs)
+	}()
+}
+
+// Snapshot captures the element set.
+func Snapshot(s *phasehash.Set) []uint64 {
+	return s.Elements()
+}
+
+// Join waits for a fill to drain: a barrier at its call sites.
+func Join(wg *sync.WaitGroup) {
+	wg.Wait()
+}

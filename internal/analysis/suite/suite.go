@@ -1,0 +1,56 @@
+// Package suite wires the three phasehash analyzers (phasevet,
+// atomicvet, detvet) into one multichecker run, shared by the
+// standalone cmd/phasevet driver and the repo self-audit tests.
+//
+// The suite is fact-driven: packages must be analyzed in dependency
+// order over a shared FactStore, so a package sees the phase effects,
+// atomic shadow sets and nondeterminism summaries of everything it
+// imports. load.Loader.LoadDepsOrdered produces that order.
+package suite
+
+import (
+	"phasehash/internal/analysis/atomicvet"
+	"phasehash/internal/analysis/detvet"
+	"phasehash/internal/analysis/framework"
+	"phasehash/internal/analysis/load"
+	"phasehash/internal/analysis/phasevet"
+)
+
+// Analyzers returns the full suite in its canonical order.
+func Analyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{phasevet.PhaseVet, atomicvet.AtomicVet, detvet.DetVet}
+}
+
+// Finding is one diagnostic attributed to its package and analyzer.
+type Finding struct {
+	Pkg      *load.Package
+	Analyzer string
+	Diag     framework.Diagnostic
+}
+
+// Run executes every analyzer over every package, in the given package
+// order, threading facts through the shared store. report receives
+// each finding as it is produced; Run returns the first analyzer
+// error.
+func Run(pkgs []*load.Package, analyzers []*framework.Analyzer, facts framework.FactStore, report func(Finding)) error {
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a := a
+			pkg := pkg
+			pass := &framework.Pass{
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Facts:     facts,
+				Report: func(d framework.Diagnostic) {
+					report(Finding{Pkg: pkg, Analyzer: a.Name, Diag: d})
+				},
+			}
+			if _, err := a.Run(pass); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

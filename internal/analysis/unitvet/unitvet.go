@@ -5,9 +5,17 @@
 //
 // The go command probes the tool with -V=full and -flags, then invokes
 // it once per compilation unit with a JSON *.cfg file describing the
-// unit's Go files and the export data of its dependencies. This mirrors
+// unit's Go files, the export data of its dependencies, and the .vetx
+// fact files of already-vetted dependencies. This mirrors
 // golang.org/x/tools/go/analysis/unitchecker, which this module cannot
 // depend on.
+//
+// Facts: dependency units are vetted first (VetxOnly) so their
+// analyzers can export object facts; the facts are serialized into the
+// unit's VetxOutput file, and consuming units get them back through
+// PackageVetx. That is how phasevet's interprocedural phase effects,
+// atomicvet's shadow sets and detvet's nondeterminism summaries cross
+// package boundaries under the standard go vet driver.
 package unitvet
 
 import (
@@ -23,7 +31,7 @@ import (
 	"os"
 	"strings"
 
-	"phasehash/internal/analysis/phasevet"
+	"phasehash/internal/analysis/framework"
 )
 
 // config is the JSON unit description the go command passes in the
@@ -37,6 +45,7 @@ type config struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
@@ -54,8 +63,9 @@ func Handles(args []string) bool {
 	return len(args) == 1 && strings.HasSuffix(args[0], ".cfg")
 }
 
-// Main services one go-vet driver invocation and exits.
-func Main(a *phasevet.Analyzer, args []string) {
+// Main services one go-vet driver invocation for the analyzer suite
+// and exits.
+func Main(analyzers []*framework.Analyzer, args []string) {
 	for _, arg := range args {
 		switch {
 		case arg == "-flags":
@@ -72,7 +82,7 @@ func Main(a *phasevet.Analyzer, args []string) {
 		fmt.Fprintf(os.Stderr, "unitvet: expected a single .cfg argument, got %q\n", args)
 		os.Exit(1)
 	}
-	os.Exit(runUnit(a, args[0]))
+	os.Exit(runUnit(analyzers, args[0]))
 }
 
 // printVersion emits the version line the go command's tool-ID probe
@@ -91,7 +101,7 @@ func printVersion() {
 	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", os.Args[0], h.Sum(nil))
 }
 
-func runUnit(a *phasevet.Analyzer, cfgFile string) int {
+func runUnit(analyzers []*framework.Analyzer, cfgFile string) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "unitvet: %v\n", err)
@@ -102,17 +112,14 @@ func runUnit(a *phasevet.Analyzer, cfgFile string) int {
 		fmt.Fprintf(os.Stderr, "unitvet: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// The go command expects the facts output file to exist even
-	// though phasevet uses no cross-package facts.
+	// The go command requires the facts output file to exist even when
+	// the unit contributes nothing; write it empty up front and
+	// overwrite with real facts after a successful run.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			fmt.Fprintf(os.Stderr, "unitvet: %v\n", err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
-		// Dependency unit, vetted only for facts: nothing to do.
-		return 0
 	}
 	fset := token.NewFileSet()
 	var files []*ast.File
@@ -161,20 +168,49 @@ func runUnit(a *phasevet.Analyzer, cfgFile string) int {
 		fmt.Fprintf(os.Stderr, "unitvet: typecheck %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
+	// Load the fact files of already-vetted dependencies. Absent or
+	// unreadable files degrade to intra-package analysis, never to an
+	// error: old go versions may not thread vetx for tools that don't
+	// request it, and empty files mean "nothing to say".
+	facts := framework.NewMemFacts()
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue
+		}
+		_ = facts.DecodePackage(framework.NormalizePkgPath(path), data)
+	}
 	found := 0
-	pass := &phasevet.Pass{
+	pass := &framework.Pass{
 		Fset:      fset,
 		Files:     files,
 		Pkg:       pkg,
 		TypesInfo: info,
-		Report: func(d phasevet.Diagnostic) {
+		Facts:     facts,
+		Report: func(d framework.Diagnostic) {
+			if cfg.VetxOnly {
+				// Dependency unit, vetted for facts only: its own
+				// diagnostics are reported when it is vetted directly.
+				return
+			}
 			found++
 			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
 		},
 	}
-	if _, err := a.Run(pass); err != nil {
-		fmt.Fprintf(os.Stderr, "unitvet: %s: %v\n", a.Name, err)
-		return 1
+	for _, a := range analyzers {
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "unitvet: %s: %v\n", a.Name, err)
+			return 1
+		}
+	}
+	if cfg.VetxOutput != "" {
+		enc, err := facts.EncodePackage(framework.NormalizePkgPath(cfg.ImportPath))
+		if err == nil {
+			if err := os.WriteFile(cfg.VetxOutput, enc, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "unitvet: %v\n", err)
+				return 1
+			}
+		}
 	}
 	if found > 0 {
 		return 2

@@ -120,6 +120,8 @@ func (s *matchStep) Commit(i int) bool {
 
 // MaximalMatching returns the per-vertex partner array (-1 = unmatched)
 // of the lexicographically-first maximal matching of the edge list.
+//
+//phasehash:serial pre-publication init: each slot is written by exactly one worker before the speculative rounds begin
 func MaximalMatching(n int, edges []graph.Edge) []int32 {
 	s := &matchStep{
 		edges:    edges,

@@ -112,6 +112,8 @@ func (s *arrayStep) Commit(i int) bool {
 
 // Array computes the spanning forest with array reservations; the kept
 // edge set equals Serial's.
+//
+//phasehash:serial pre-publication init: each reservation slot is written by exactly one worker before the speculative rounds begin
 func Array(n int, edges []graph.Edge) []int {
 	s := &arrayStep{
 		uf:       unionfind.New(n),

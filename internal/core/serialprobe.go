@@ -18,10 +18,12 @@ import "phasehash/internal/obs"
 // schedule of the same run would reach. The detres cross-oracle
 // (ShardedRunner vs ShardedBulkRunner) enforces this byte-for-byte.
 //
-// These methods must only be called while the caller holds exclusive
-// access to the table (or shard): they are deliberately not in the
-// phasevet fact table because they are unexported and never visible to
-// API users.
+// The probe kernels carry //phasehash:serial annotations: atomicvet
+// verifies the exclusivity claim stays attached to every function that
+// plainly touches the atomically-shadowed cells, and flags the marker
+// itself if the plain access ever disappears. They are deliberately
+// not in the phasevet fact table because they are unexported and never
+// visible to API users.
 //
 // Telemetry: the serial loops feed the same obs counters as the atomic
 // paths (so sharded and flat runs are comparable), with zero CAS
@@ -31,6 +33,8 @@ import "phasehash/internal/obs"
 // insertSerial is insertLoopFrom with plain memory operations: walk the
 // probe sequence, displace lower-priority elements, merge equal keys.
 // full reports a whole-array sweep, exactly like insertLoop.
+//
+//phasehash:serial owner-computes: exactly one worker streams this shard after the radix partition, and history independence makes the serial replay land in the same quiescent layout
 func (t *WordTable[O]) insertSerial(v uint64) (added, full bool) {
 	var obsDisp uint64
 	i := t.home(v)
@@ -77,6 +81,8 @@ func (t *WordTable[O]) insertSerial(v uint64) (added, full bool) {
 }
 
 // findSerial is findFrom with plain loads.
+//
+//phasehash:serial owner-computes: the shard is exclusively owned for the whole bulk find phase, so no store can race these loads
 func (t *WordTable[O]) findSerial(v uint64) (uint64, bool) {
 	i := t.home(v)
 	start := i
@@ -111,6 +117,8 @@ func (t *WordTable[O]) findSerial(v uint64) (uint64, bool) {
 // deletes; with exclusive access the hole-filling recursion is direct:
 // find the victim, pull the closest following element that hashes at or
 // before it into the hole, and repeat on the copy it left behind.
+//
+//phasehash:serial owner-computes: exclusive shard ownership removes the concurrent deletes the atomic version's re-scans exist to chase
 func (t *WordTable[O]) deleteSerial(v uint64) bool {
 	var obsScan, obsRepl uint64
 	home := t.home(v)
@@ -154,6 +162,8 @@ func (t *WordTable[O]) deleteSerial(v uint64) bool {
 // findReplacementSerial is findReplacement's upward scan with plain
 // loads; the downward re-scan is unnecessary without concurrent deletes
 // (the upward scan already stops at the *first* eligible position).
+//
+//phasehash:serial owner-computes: only called from deleteSerial under the same exclusive shard ownership
 func (t *WordTable[O]) findReplacementSerial(i int) (int, uint64) {
 	j := i
 	for {

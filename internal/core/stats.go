@@ -20,6 +20,8 @@ type ProbeStats struct {
 }
 
 // Stats computes the probe statistics (quiescent callers only).
+//
+//phasehash:serial quiescent use only: probe statistics characterize the settled layout between phases
 func (t *WordTable[O]) Stats() ProbeStats {
 	const histSize = 64
 	st := ProbeStats{Histogram: make([]int, histSize)}

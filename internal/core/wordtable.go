@@ -457,6 +457,8 @@ func (t *WordTable[O]) findReplacement(i int) (int, uint64) {
 // (find/elements phase only). Because the cell layout is
 // history-independent, the result is identical across runs and thread
 // counts for the same element set — the paper's deterministic ELEMENTS().
+//
+//phasehash:serial find/elements phase: the phase discipline guarantees no insert or delete is in flight, so the cells are quiescent under the plain reads
 func (t *WordTable[O]) Elements() []uint64 {
 	return parallel.Pack(t.cells, func(i int) bool { return t.cells[i] != Empty })
 }
@@ -465,12 +467,16 @@ func (t *WordTable[O]) Elements() []uint64 {
 // number packed. The contract is on dst's *length*, not its capacity:
 // len(dst) >= Count() is required, and a shorter dst panics with an
 // index-out-of-range when the pack reaches the end of it.
+//
+//phasehash:serial find/elements phase: the phase discipline guarantees no insert or delete is in flight, so the cells are quiescent under the plain reads
 func (t *WordTable[O]) ElementsInto(dst []uint64) int {
 	return parallel.PackInto(dst, t.cells, func(i int) bool { return t.cells[i] != Empty })
 }
 
 // Count returns the number of elements currently stored (parallel scan;
 // find/elements phase only).
+//
+//phasehash:serial find/elements phase: no writer is in flight; CountAtomic is the cross-phase variant
 func (t *WordTable[O]) Count() int {
 	return parallel.Count(len(t.cells), func(i int) bool { return t.cells[i] != Empty })
 }
@@ -493,6 +499,8 @@ func (t *WordTable[O]) CountAtomic() int {
 
 // ForEach calls fn for every stored element in table order (sequential;
 // find/elements phase only).
+//
+//phasehash:serial find/elements phase: no writer is in flight during the sequential scan
 func (t *WordTable[O]) ForEach(fn func(e uint64)) {
 	for _, c := range t.cells {
 		if c != Empty {
@@ -503,6 +511,8 @@ func (t *WordTable[O]) ForEach(fn func(e uint64)) {
 
 // Clear resets every cell to Empty (a phase barrier by itself: callers
 // must not run it concurrently with anything).
+//
+//phasehash:serial quiescent: Clear is itself a phase barrier; nothing runs concurrently with it by contract
 func (t *WordTable[O]) Clear() {
 	parallel.For(len(t.cells), func(i int) { t.cells[i] = Empty })
 }
@@ -512,6 +522,8 @@ func (t *WordTable[O]) Clear() {
 // origin i, every cell in [i, j) holds an element of priority >= the
 // element's. It returns nil if the invariant holds. Quiescent use only;
 // exported for tests and for the fuzzing harness.
+//
+//phasehash:serial quiescent use only: invariant checks run between phases with no operation in flight
 func (t *WordTable[O]) CheckInvariant() error {
 	m := len(t.cells)
 	for j := 0; j < m; j++ {
@@ -539,6 +551,8 @@ func (t *WordTable[O]) CheckInvariant() error {
 
 // Snapshot copies the raw cell array (quiescent use only). Tests use it
 // to compare layouts byte-for-byte across schedules.
+//
+//phasehash:serial quiescent use only: layout snapshots are taken between phases
 func (t *WordTable[O]) Snapshot() []uint64 {
 	out := make([]uint64, len(t.cells))
 	copy(out, t.cells)

@@ -170,6 +170,8 @@ func (t *CuckooTable[O]) Delete(v uint64) bool {
 
 // Elements implements Table (order is non-deterministic across runs with
 // different schedules, deterministic for a fixed layout).
+//
+//phasehash:serial find/elements phase: the phase discipline keeps writers out while the cells are packed
 func (t *CuckooTable[O]) Elements() []uint64 {
 	return parallel.Pack(t.cells, func(i int) bool { return t.cells[i] != core.Empty })
 }

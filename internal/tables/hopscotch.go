@@ -330,6 +330,8 @@ func (t *HopscotchTable[O]) Delete(v uint64) bool {
 }
 
 // Elements implements Table.
+//
+//phasehash:serial find/elements phase: the phase discipline keeps writers out while the cells are packed
 func (t *HopscotchTable[O]) Elements() []uint64 {
 	return parallel.Pack(t.cells, func(i int) bool {
 		return t.cells[i] != core.Empty && t.cells[i] != hopBusy

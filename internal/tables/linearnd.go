@@ -157,11 +157,15 @@ func (t *LinearNDTable[O]) findReplacement(i int) (int, uint64) {
 }
 
 // Elements implements Table (order depends on insertion history).
+//
+//phasehash:serial find/elements phase: the phase discipline keeps writers out while the cells are packed
 func (t *LinearNDTable[O]) Elements() []uint64 {
 	return parallel.Pack(t.cells, func(i int) bool { return t.cells[i] != core.Empty })
 }
 
 // Count implements Table.
+//
+//phasehash:serial find/elements phase: the phase discipline keeps writers out during the scan
 func (t *LinearNDTable[O]) Count() int {
 	return parallel.Count(len(t.cells), func(i int) bool { return t.cells[i] != core.Empty })
 }

@@ -53,6 +53,8 @@ func (u *UF) Link(a, parent int) {
 }
 
 // NumRoots counts the current components (quiescent use).
+//
+//phasehash:serial quiescent use only: called between speculative rounds when no Link is in flight
 func (u *UF) NumRoots() int {
 	n := 0
 	for i := range u.parent {
