@@ -3,7 +3,7 @@
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: all build test race lint phasevet fmt fuzz chaos soak install-phasevet benchbase benchdiff obs obs-sizecheck obs-overhead obs-soak
+.PHONY: all build test race lint phasevet fmt fuzz chaos soak soak-server install-phasevet benchbase benchdiff obs obs-sizecheck obs-overhead obs-soak
 
 all: build test lint
 
@@ -14,7 +14,8 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/core/... ./internal/apps/... ./internal/tables/... .
+	go test -race ./internal/core/... ./internal/apps/... ./internal/tables/... \
+		./internal/epoch/... ./internal/rooms/... .
 
 # lint = everything CI gates on besides the test suite.
 lint: fmt phasevet
@@ -50,17 +51,29 @@ chaos:
 soak:
 	go run -tags chaos ./cmd/phload -chaos -soak 2m
 
+# soak-server = mixed concurrent traffic with per-request deadlines
+# against a self-hosted phserver over TCP loopback, twice: once at
+# comfortable load, once deliberately overloaded (tiny queue + slow
+# epochs) to prove degradation stays graceful — explicit shed statuses,
+# bounded queue, clean drain. Non-blocking in CI; run locally when
+# touching internal/epoch or the wire path.
+soak-server:
+	go run ./cmd/phload -server -soak 30s -deadline 5ms -clients 4
+	go run ./cmd/phload -server -soak 30s -deadline 25ms -clients 4 \
+		-maxbatch 64 -queue 128 -flushdelay 2ms
+
 # benchbase = regenerate the committed core-benchmark baseline
-# (BENCH_core.json): the bulk-kernel before/after pairs and the
-# sharded-vs-flat rows, at 1 worker and at max(4, nproc) — the high-p
-# rows oversubscribe GOMAXPROCS on small machines so the baseline
-# always carries a p>=4 row — 5 runs each, aggregated to min/mean/max
-# by benchjson. CI runs this non-blocking, diffs it against the
-# committed baseline (benchdiff) and uploads the artifact; commit the
-# file when the numbers move for a reason.
+# (BENCH_core.json): the bulk-kernel before/after pairs, the
+# sharded-vs-flat rows, and the epoch-server serving-path row (admit
+# latency quantiles + shed fraction), at 1 worker and at max(4, nproc)
+# — the high-p rows oversubscribe GOMAXPROCS on small machines so the
+# baseline always carries a p>=4 row — 5 runs each, aggregated to
+# min/mean/max by benchjson. CI runs this non-blocking, diffs it
+# against the committed baseline (benchdiff) and uploads the artifact;
+# commit the file when the numbers move for a reason.
 BENCHCPUS := $(shell n=$$(nproc); if [ "$$n" -lt 4 ]; then echo 4; else echo $$n; fi)
-BENCHCMD  := go test -run xxx -bench 'PerElement|InsertAll|FindAll|DeleteAll' \
-		-benchmem -count=5 -cpu 1,$(BENCHCPUS) ./internal/core
+BENCHCMD  := go test -run xxx -bench 'PerElement|InsertAll|FindAll|DeleteAll|EpochServer' \
+		-benchmem -count=5 -cpu 1,$(BENCHCPUS) ./internal/core ./internal/epoch
 
 benchbase:
 	$(BENCHCMD) | go run ./cmd/benchjson > BENCH_core.json

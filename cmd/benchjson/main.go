@@ -51,6 +51,13 @@ type Result struct {
 	ProbesPerOp    float64 `json:"probes_per_op,omitempty"`
 	P99ProbesPerOp float64 `json:"p99_probes_per_op,omitempty"`
 	CASRetryPerOp  float64 `json:"cas_retry_per_op,omitempty"`
+
+	// Epoch-server latency metrics reported by the internal/epoch
+	// benchmarks: admit-to-complete latency quantiles in microseconds
+	// and the fraction of offered ops shed at admission.
+	P50AdmitUs float64 `json:"p50_admit_us,omitempty"`
+	P99AdmitUs float64 `json:"p99_admit_us,omitempty"`
+	ShedPerOp  float64 `json:"shed_per_op,omitempty"`
 }
 
 // Stat is a min/mean/max summary over the runs.
@@ -107,15 +114,31 @@ func main() {
 		}
 		return
 	}
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse converts `go test -bench` output into the aggregated document.
+func parse(in io.Reader) (Doc, error) {
 	var doc Doc
 	type row struct {
 		ns, bytes, allocs, elems    *accum
 		probes, p99probes, casretry *accum
+		p50admit, p99admit, shed    *accum
 	}
 	rows := map[string]*row{}
 	var order []string
 
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -149,6 +172,7 @@ func main() {
 			r = &row{
 				ns: &accum{}, bytes: &accum{}, allocs: &accum{}, elems: &accum{},
 				probes: &accum{}, p99probes: &accum{}, casretry: &accum{},
+				p50admit: &accum{}, p99admit: &accum{}, shed: &accum{},
 			}
 			rows[name] = r
 			order = append(order, name)
@@ -174,12 +198,17 @@ func main() {
 				r.p99probes.add(v)
 			case "casretry/op":
 				r.casretry.add(v)
+			case "p50admit-us":
+				r.p50admit.add(v)
+			case "p99admit-us":
+				r.p99admit.add(v)
+			case "shed/op":
+				r.shed.add(v)
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return doc, err
 	}
 
 	sort.Strings(order)
@@ -210,15 +239,18 @@ func main() {
 		if len(r.casretry.vals) > 0 {
 			res.CASRetryPerOp = r.casretry.stat().Mean
 		}
+		if len(r.p50admit.vals) > 0 {
+			res.P50AdmitUs = r.p50admit.stat().Mean
+		}
+		if len(r.p99admit.vals) > 0 {
+			res.P99AdmitUs = r.p99admit.stat().Mean
+		}
+		if len(r.shed.vals) > 0 {
+			res.ShedPerOp = r.shed.stat().Mean
+		}
 		doc.Results = append(doc.Results, res)
 	}
-
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return doc, nil
 }
 
 // diff compares two benchjson documents row by row (matched on name)

@@ -76,6 +76,50 @@ func TestDiffToleratesMissingAndDegenerateRows(t *testing.T) {
 	}
 }
 
+// TestParseAggregatesEpochMetrics pins the conversion path end to end
+// on a synthetic -bench stream: repeated runs fold into min/mean/max,
+// and the epoch-server metrics (p50/p99 admit-to-complete, shed
+// fraction) land in their Result fields alongside probes/op.
+func TestParseAggregatesEpochMetrics(t *testing.T) {
+	in := strings.NewReader(`goos: linux
+goarch: amd64
+pkg: phasehash/internal/epoch
+BenchmarkEpochServerMixed 	   10000	       950 ns/op	       120 B/op	       2 allocs/op	       180.5 p50admit-us	      1200 p99admit-us	     0.25 shed/op
+BenchmarkEpochServerMixed 	   10000	      1050 ns/op	       120 B/op	       2 allocs/op	       219.5 p50admit-us	      1400 p99admit-us	     0.75 shed/op
+BenchmarkInsertAll 	     100	    500000 ns/op	      4096 elems/op	      1.50 probes/op
+`)
+	doc, err := parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(doc.Results), doc.Results)
+	}
+	epoch := doc.Results[0]
+	if epoch.Name != "EpochServerMixed" {
+		t.Fatalf("results not sorted by name: %+v", doc.Results)
+	}
+	if epoch.Runs != 2 || epoch.NsPerOp.Mean != 1000 {
+		t.Errorf("epoch row aggregation: runs=%d mean=%v, want 2 and 1000", epoch.Runs, epoch.NsPerOp.Mean)
+	}
+	if epoch.P50AdmitUs != 200 || epoch.P99AdmitUs != 1300 {
+		t.Errorf("admit latency: p50=%v p99=%v, want 200 and 1300", epoch.P50AdmitUs, epoch.P99AdmitUs)
+	}
+	if epoch.ShedPerOp != 0.5 {
+		t.Errorf("shed/op = %v, want 0.5", epoch.ShedPerOp)
+	}
+	core := doc.Results[1]
+	if core.ProbesPerOp != 1.5 || core.ElemsPerOp != 4096 {
+		t.Errorf("core row: probes=%v elems=%v", core.ProbesPerOp, core.ElemsPerOp)
+	}
+	if core.P50AdmitUs != 0 || core.ShedPerOp != 0 {
+		t.Errorf("core row picked up epoch metrics: %+v", core)
+	}
+	if doc.Pkg == "" || doc.Goos != "linux" {
+		t.Errorf("header fields not captured: %+v", doc)
+	}
+}
+
 func TestAccumStatEmpty(t *testing.T) {
 	var a accum
 	if got := a.stat(); got != (Stat{}) {

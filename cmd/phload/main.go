@@ -19,6 +19,14 @@
 // and /debug/pprof for profiling a long soak.
 //
 //	go run -tags 'chaos obs' ./cmd/phload -chaos -soak 5m -obs localhost:6060
+//
+// With -server it soaks the epoch serving path instead: mixed
+// concurrent Insert/Find/Delete/Elements traffic with per-request
+// deadlines over TCP loopback against a self-hosted phserver (or an
+// external one via -addr), exiting 1 on any transport failure,
+// unexpected status, queue-bound violation, or failed drain.
+//
+//	go run ./cmd/phload -server -soak 30s -deadline 2ms -clients 4
 package main
 
 import (
@@ -45,6 +53,16 @@ func main() {
 		soak      = flag.Duration("soak", 30*time.Second, "chaos soak duration")
 		chaosN    = flag.Int("chaosn", 1<<12, "elements per oracle workload in chaos mode")
 		obsAddr   = flag.String("obs", "", "serve /debug/phasestats, /debug/vars and /debug/pprof on this address while running (needs a -tags obs build)")
+
+		serverMode = flag.Bool("server", false, "soak the epoch serving path over TCP loopback instead of Figure 5")
+		addr       = flag.String("addr", "", "server soak: drive this external phserver instead of self-hosting")
+		clients    = flag.Int("clients", 4, "server soak: concurrent client connections")
+		window     = flag.Int("window", 64, "server soak: in-flight requests per client")
+		deadline   = flag.Duration("deadline", 5*time.Millisecond, "server soak: per-request deadline (0 = none)")
+		maxBatch   = flag.Int("maxbatch", 1024, "server soak: self-hosted epoch watermark")
+		queue      = flag.Int("queue", 0, "server soak: self-hosted queue limit (0 = 4x maxbatch)")
+		block      = flag.Bool("block", false, "server soak: self-hosted blocking admission")
+		flushDelay = flag.Duration("flushdelay", 0, "server soak: self-hosted artificial epoch delay (overload experiments)")
 	)
 	flag.Parse()
 
@@ -55,6 +73,22 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Fprintf(os.Stderr, "phload: telemetry at http://%s/debug/phasestats\n", addr)
+	}
+
+	if *serverMode {
+		serverSoak(serverSoakOpts{
+			addr:       *addr,
+			clients:    *clients,
+			window:     *window,
+			deadline:   *deadline,
+			size:       *size,
+			maxBatch:   *maxBatch,
+			queue:      *queue,
+			block:      *block,
+			flushDelay: *flushDelay,
+			soak:       *soak,
+		})
+		return
 	}
 
 	if *chaosMode {

@@ -1,0 +1,78 @@
+package phasevet_test
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"phasehash/internal/analysis/atest"
+	"phasehash/internal/analysis/framework"
+	"phasehash/internal/analysis/load"
+	"phasehash/internal/analysis/phasevet"
+)
+
+// TestEpochServerFacts runs phasevet over the real epoch scheduler
+// (internal/epoch) and pins two properties of the satellite contract:
+//
+//  1. the scheduler is quiet — mutex-buffered admission plus a single
+//     flusher running one bulk kernel per phase in sequence is exactly
+//     the idiom the analyzer must not flag; and
+//  2. the flush helpers export interprocedural funcEffect facts naming
+//     the server's table, so a dependent package that drives an epoch
+//     concurrently with its own table access is diagnosable through
+//     the helper chain.
+func TestEpochServerFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads packages from source")
+	}
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pkgPath = "phasehash/internal/epoch"
+	pkg, err := loader.LoadDir(pkgPath, filepath.Join(loader.ModuleDir, "internal", "epoch"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := framework.NewMemFacts()
+	for _, d := range atest.Analyze(t, phasevet.PhaseVet, pkg, facts) {
+		pos := pkg.Fset.Position(d.Pos)
+		t.Errorf("phasevet flagged the epoch scheduler: %s:%d [%s] %s",
+			filepath.Base(pos.Filename), pos.Line, d.Category, d.Message)
+	}
+
+	exported := facts.PackageFacts("phasevet", pkgPath)
+	if len(exported) == 0 {
+		t.Fatal("phasevet exported no facts for the epoch package")
+	}
+	type effectOp struct {
+		Slot   int    `json:"slot"`
+		Path   string `json:"path"`
+		Method string `json:"method"`
+	}
+	type funcEffect struct {
+		Ops []effectOp `json:"ops"`
+	}
+	for _, key := range []string{"Server.flush", "Server.insertPhase", "Server.deletePhase", "Server.readPhase"} {
+		data, ok := exported[key]
+		if !ok {
+			t.Errorf("no funcEffect fact exported for %s (flush helpers must be visible to dependents)", key)
+			continue
+		}
+		var eff funcEffect
+		if err := json.Unmarshal(data, &eff); err != nil {
+			t.Errorf("fact for %s does not decode: %v", key, err)
+			continue
+		}
+		onTable := false
+		for _, op := range eff.Ops {
+			if op.Slot == 0 && op.Path == ".table" {
+				onTable = true
+				break
+			}
+		}
+		if !onTable {
+			t.Errorf("fact for %s has no op on the receiver's table field: %s", key, data)
+		}
+	}
+}

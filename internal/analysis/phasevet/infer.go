@@ -13,7 +13,7 @@ package phasevet
 // fact-table methods (the curated facts are the ground truth for the
 // table API itself) and functions that bracket their operations with
 // the runtime guards (core.PhaseGuard.Enter/EnterExclusive,
-// rooms.Rooms.Enter) — those are runtime-checked, exactly like the
+// rooms.Rooms.Enter/EnterCtx) — those are runtime-checked, exactly like the
 // Checked* wrappers' deliberate absence from the fact table.
 
 import (
@@ -337,7 +337,8 @@ func guarded(info *types.Info, decl *ast.FuncDecl) bool {
 		case pkg == "phasehash/internal/core" && typ == "PhaseGuard" &&
 			(fn.Name() == "Enter" || fn.Name() == "EnterExclusive"):
 			found = true
-		case pkg == "phasehash/internal/rooms" && typ == "Rooms" && fn.Name() == "Enter":
+		case pkg == "phasehash/internal/rooms" && typ == "Rooms" &&
+			(fn.Name() == "Enter" || fn.Name() == "EnterCtx"):
 			found = true
 		}
 		return !found

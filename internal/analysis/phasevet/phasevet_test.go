@@ -35,6 +35,7 @@ func TestCorpus(t *testing.T) {
 		{"sharded", []string{"mixedphases", "gomix"}},
 		{"obsstats", []string{"mixedphases", "readcapture"}},
 		{"helpers", []string{"mixedphases", "readcapture", "gomix"}},
+		{"epochsrv", []string{"mixedphases", "readcapture", "gomix"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.pkg, func(t *testing.T) {

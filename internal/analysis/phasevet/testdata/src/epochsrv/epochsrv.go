@@ -1,0 +1,141 @@
+// Package epochsrv exercises phasevet on the phase-batched epoch
+// scheduler idiom (internal/epoch): a mutex-buffered admission queue in
+// front of a sharded table that only the flusher touches. The scheduler
+// itself — admission under a mutex, a single flusher partitioning each
+// batch by phase and driving one bulk kernel per phase in straight-line
+// code — must stay quiet. The violations are the pattern the scheduler
+// exists to rule out: clients bypassing admission and touching the
+// table directly while an epoch is in flight.
+package epochsrv
+
+import (
+	"sync"
+
+	"phasehash/internal/core"
+)
+
+// op is one admitted operation: an insert when ins, else a delete.
+type op struct {
+	ins bool
+	key uint64
+}
+
+// server is the miniature scheduler.
+type server struct {
+	mu      sync.Mutex
+	pending []op
+	table   *core.ShardedTable[core.SetOps]
+}
+
+// submit admits one op under the mutex; admission never touches the
+// table, so it carries no phase at all.
+func (s *server) submit(o op) {
+	s.mu.Lock()
+	s.pending = append(s.pending, o)
+	s.mu.Unlock()
+}
+
+// take claims the pending batch under the mutex.
+func (s *server) take() []op {
+	s.mu.Lock()
+	batch := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	return batch
+}
+
+// flush is one epoch: partition by phase, then one bulk kernel per
+// phase in sequence on a single goroutine — insert, delete, read.
+// Sequential phase succession is the scheduler's whole contract, and
+// phasevet must stay quiet on it.
+func (s *server) flush(batch []op) {
+	var ins, del []uint64
+	for _, o := range batch {
+		if o.ins {
+			ins = append(ins, o.key)
+		} else {
+			del = append(del, o.key)
+		}
+	}
+	s.table.InsertAll(ins)
+	s.table.DeleteAll(del)
+	dst := make([]uint64, len(ins))
+	s.table.FindAll(ins, dst)
+	_ = s.table.Elements()
+}
+
+// serve drains admitted batches through epochs.
+func (s *server) serve(rounds int) {
+	for i := 0; i < rounds; i++ {
+		s.flush(s.take())
+	}
+}
+
+// insertEpoch is the flusher's insert phase extracted as a helper, so
+// the violations below are only visible through the interprocedural
+// facts.
+func insertEpoch(s *server, keys []uint64) {
+	s.table.InsertAll(keys)
+}
+
+// epochPipelineOK is the intended usage end to end: concurrent clients
+// submit through admission, the batch is claimed after a barrier, one
+// flusher drives the epoch, and the table is only read quiescently.
+func epochPipelineOK(keys []uint64) {
+	s := &server{table: core.NewShardedTable[core.SetOps](1024, 8)}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, k := range keys {
+				s.submit(op{ins: true, key: k})
+			}
+		}()
+	}
+	wg.Wait()
+	s.serve(1)
+	_ = s.table.Elements()
+}
+
+// clientReadsMidEpoch bypasses admission: a direct read on the caller's
+// goroutine while the flusher's insert phase is in flight.
+func clientReadsMidEpoch(s *server, keys []uint64) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		insertEpoch(s, keys)
+	}()
+	_ = s.table.Contains(keys[0]) // want `Contains \(read phase\) on s\.table may overlap insert-phase operations`
+	wg.Wait()
+}
+
+// concurrentClientAndFlusher races a bypassing client goroutine against
+// the in-flight epoch.
+func concurrentClientAndFlusher(s *server, keys []uint64) {
+	done := make(chan struct{}, 2)
+	go func() {
+		insertEpoch(s, keys)
+		done <- struct{}{}
+	}()
+	go func() {
+		_ = s.table.Contains(keys[0]) // want `Contains \(read phase\) on s\.table inside a goroutine or parallel closure may overlap insert-phase`
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+// snapshotMidEpoch captures an Elements snapshot while the insert phase
+// is still in flight — the capture the epoch boundary exists to order.
+func snapshotMidEpoch(s *server, keys []uint64) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		insertEpoch(s, keys)
+	}()
+	_ = s.table.Elements() // want `Elements result on s\.table captured while insert-phase operations`
+	wg.Wait()
+}

@@ -48,6 +48,9 @@ const (
 	SiteGrowMigrate                    // per-element step of GrowTable.migrate
 	SiteGrowDrain                      // per-element step of GrowTable.drainLocked
 	SiteParallelWorker                 // worker goroutine start in parallel.For/Do
+	SiteEpochAdmit                     // epoch.Server.Submit admission path
+	SiteEpochFlush                     // start of each epoch flush (delayed flush / stalled worker)
+	SiteEpochCancel                    // epoch result delivery (forced mid-epoch cancellation)
 	numSites
 )
 

@@ -23,6 +23,9 @@ func Yield(Site) {}
 // FailCAS never forces a retry without the chaos tag.
 func FailCAS(Site) bool { return false }
 
+// Fault never injects without the chaos tag.
+func Fault(Site) bool { return false }
+
 // SkewWorker is a no-op without the chaos tag.
 func SkewWorker(Site) {}
 

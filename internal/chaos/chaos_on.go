@@ -98,6 +98,21 @@ func FailCAS(s Site) bool {
 	return true
 }
 
+// Fault reports whether a seeded fault should be injected at site s.
+// It draws from the profile's FailPm like FailCAS, but is for non-CAS
+// fault decisions — e.g. epoch.Server's forced mid-epoch result
+// cancellation, which is only wired where the injected failure affects
+// the response path, never the quiescent table state (the determinism
+// oracle replays across fault profiles and asserts byte identity).
+func Fault(s Site) bool {
+	c, r, ok := draw(s)
+	if !ok || r >= c.prof.FailPm {
+		return false
+	}
+	fired[s].Add(1)
+	return true
+}
+
 // SkewWorker delays a starting parallel worker by a seeded spin of up
 // to the profile's SkewSpinMax iterations, so workers enter their loops
 // staggered instead of in lockstep.

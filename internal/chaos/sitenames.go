@@ -19,6 +19,9 @@ const (
 	SiteNameGrowMigrate        = "grow-migrate"
 	SiteNameGrowDrain          = "grow-drain"
 	SiteNameParallelWorker     = "parallel-worker"
+	SiteNameEpochAdmit         = "epoch-admit"
+	SiteNameEpochFlush         = "epoch-flush"
+	SiteNameEpochCancel        = "epoch-cancel"
 )
 
 // siteNames maps Site values to their names, in declaration order.
@@ -36,4 +39,7 @@ var siteNames = [NumSites]string{
 	SiteGrowMigrate:        SiteNameGrowMigrate,
 	SiteGrowDrain:          SiteNameGrowDrain,
 	SiteParallelWorker:     SiteNameParallelWorker,
+	SiteEpochAdmit:         SiteNameEpochAdmit,
+	SiteEpochFlush:         SiteNameEpochFlush,
+	SiteEpochCancel:        SiteNameEpochCancel,
 }

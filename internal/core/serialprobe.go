@@ -86,7 +86,11 @@ func (t *WordTable[O]) insertSerial(v uint64) (added, full bool) {
 func (t *WordTable[O]) findSerial(v uint64) (uint64, bool) {
 	i := t.home(v)
 	start := i
-	for {
+	// Like insertSerial (and findFrom), bound the probe to one full
+	// sweep so a saturated shard cannot spin the search for an absent
+	// low-priority key forever.
+	limit := i + len(t.cells)
+	for i < limit {
 		c := t.cells[i&t.mask]
 		if c == Empty {
 			if obs.Enabled {
@@ -109,6 +113,11 @@ func (t *WordTable[O]) findSerial(v uint64) (uint64, bool) {
 		}
 		i++
 	}
+	// Full sweep without a verdict: the shard is saturated and v absent.
+	if obs.Enabled {
+		obs.RecordFind(start, uint64(i-start), false)
+	}
+	return Empty, false
 }
 
 // deleteSerial is deleteFrom with plain memory operations. The
@@ -123,7 +132,12 @@ func (t *WordTable[O]) deleteSerial(v uint64) bool {
 	var obsScan, obsRepl uint64
 	home := t.home(v)
 	k := home
-	for {
+	// Bounded like findSerial: on a saturated shard the victim scan for
+	// an absent low-priority key would otherwise never terminate. After
+	// a full sweep k wraps to home's cell, which cannot match v (a match
+	// there would have stopped the scan at k == home), so the not-found
+	// path below reports correctly.
+	for k < home+len(t.cells) {
 		c := t.cells[k&t.mask]
 		if c == Empty || t.ops.Cmp(v, c) >= 0 {
 			break
@@ -166,13 +180,17 @@ func (t *WordTable[O]) deleteSerial(v uint64) bool {
 //phasehash:serial owner-computes: only called from deleteSerial under the same exclusive shard ownership
 func (t *WordTable[O]) findReplacementSerial(i int) (int, uint64) {
 	j := i
-	for {
+	// Bounded like findReplacement: a saturated shard's cluster wraps
+	// the whole array, and when nothing in it may legally fill the hole
+	// the cluster ends at the hole (w = Empty).
+	for j < i+len(t.cells)-1 {
 		j++
 		w := t.cells[j&t.mask]
 		if w == Empty || t.lift(t.ops.Hash(w)&uint64(t.mask), j) <= i {
 			return j, w
 		}
 	}
+	return j, Empty
 }
 
 // insertRangeSerial drives insertSerial over a contiguous run of

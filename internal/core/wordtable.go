@@ -315,10 +315,15 @@ func (t *WordTable[O]) Find(v uint64) (uint64, bool) {
 }
 
 // findFrom is Find starting from a caller-supplied probe origin (i must
-// be t.home(v)); see insertLoopFrom.
+// be t.home(v)); see insertLoopFrom. The whole-array sweep bound
+// matters on a *saturated* table: with no Empty cell, a probe for an
+// absent key of lower priority than everything in its path would
+// otherwise wrap forever (insertLoopFrom has the same guard; that is
+// how ErrFull is detected).
 func (t *WordTable[O]) findFrom(v uint64, i int) (uint64, bool) {
 	start := i
-	for {
+	limit := i + len(t.cells)
+	for i < limit {
 		c := t.load(i)
 		if c == Empty {
 			if obs.Enabled {
@@ -341,6 +346,11 @@ func (t *WordTable[O]) findFrom(v uint64, i int) (uint64, bool) {
 		}
 		i++
 	}
+	// Full sweep without a verdict: the table is saturated and v absent.
+	if obs.Enabled {
+		obs.RecordFind(start, uint64(i-start), false)
+	}
+	return Empty, false
 }
 
 // Contains is Find without returning the element.
@@ -367,7 +377,11 @@ func (t *WordTable[O]) deleteFrom(v uint64, i int) bool {
 	var obsScan, obsRepl, obsFail uint64
 	home := i
 	k := i
-	for {
+	// The sweep bound keeps the victim scan finite on a saturated table
+	// (no Empty cell and every element outranking v); overshooting to
+	// home+size is harmless — the downward pass below re-examines the
+	// interval anyway.
+	for k < home+len(t.cells) {
 		c := t.load(k)
 		if c == Empty || t.ops.Cmp(v, c) >= 0 {
 			break
@@ -433,11 +447,20 @@ func (t *WordTable[O]) deleteFrom(v uint64, i int) bool {
 func (t *WordTable[O]) findReplacement(i int) (int, uint64) {
 	j := i
 	var w uint64
+	// The scan covers at most the other size-1 cells. On a *saturated*
+	// table the cluster wraps the whole array; when no element in it may
+	// legally move back to i, the hole simply ends the cluster (w =
+	// Empty) — without the bound the scan would re-read the array
+	// forever.
 	for {
 		if chaos.Enabled {
 			chaos.Yield(chaos.SiteWordDeleteProbe)
 		}
 		j++
+		if j > i+len(t.cells)-1 {
+			w = Empty
+			break
+		}
 		w = t.load(j)
 		if w == Empty || t.lift(t.ops.Hash(w)&uint64(t.mask), j) <= i {
 			break

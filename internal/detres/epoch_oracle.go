@@ -1,0 +1,190 @@
+package detres
+
+// Epoch-server oracle: the determinism claim extended across the
+// serving layer. internal/epoch batches mixed concurrent submissions
+// into phase-ordered epochs and flushes them through the sharded bulk
+// kernels; its claim is that each epoch's quiescent state is a pure
+// function of the admitted multiset — never of submission interleaving,
+// worker count, or injected faults. EpochRunner replays a scripted
+// epoch trace through a live Server (concurrent submitters, explicit
+// Flush barriers, per-epoch snapshots) and EpochRefRunner replays the
+// identical trace directly through the bulk kernels, so RunOracle
+// proves grid-wide per-epoch byte-identity and RunCrossOracle pins the
+// whole scheduler path to the bare kernels.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"phasehash/internal/chaos"
+	"phasehash/internal/core"
+	"phasehash/internal/epoch"
+)
+
+// epochStep is one scripted epoch: the keys inserted, deleted and
+// looked up. Reads never move the quiescent state; they are in the
+// script so the server's read phase stays on the replayed path.
+type epochStep struct {
+	ins []uint64
+	del []uint64
+	fnd []uint64
+}
+
+// ops materializes the step as a flat submission list: inserts, then
+// deletes, then finds, then one Elements snapshot op. The list order
+// only seeds the striping — the server partitions by phase, so any
+// submission interleaving of the same list is equivalent.
+func (st epochStep) ops() []scriptedOp {
+	ops := make([]scriptedOp, 0, len(st.ins)+len(st.del)+len(st.fnd)+1)
+	for _, k := range st.ins {
+		ops = append(ops, scriptedOp{epoch.OpInsert, k})
+	}
+	for _, k := range st.del {
+		ops = append(ops, scriptedOp{epoch.OpDelete, k})
+	}
+	for _, k := range st.fnd {
+		ops = append(ops, scriptedOp{epoch.OpFind, k})
+	}
+	ops = append(ops, scriptedOp{epoch.OpElements, 0})
+	return ops
+}
+
+// scriptedOp is one submission of the epoch script.
+type scriptedOp struct {
+	op  epoch.Op
+	key uint64
+}
+
+// epochScript splits a workload into epochs scripted epochs: each epoch
+// inserts its whole element chunk, deletes every third chunk element
+// (the replayPhases convention, applied per chunk) and finds every
+// fifth. The script depends only on (elems, epochs), so every grid
+// cell submits the same per-epoch multiset.
+func epochScript(elems []uint64, epochs int) []epochStep {
+	if epochs < 1 {
+		epochs = 1
+	}
+	per := (len(elems) + epochs - 1) / epochs
+	steps := make([]epochStep, 0, epochs)
+	for lo := 0; lo < len(elems); lo += per {
+		hi := lo + per
+		if hi > len(elems) {
+			hi = len(elems)
+		}
+		chunk := elems[lo:hi]
+		st := epochStep{ins: chunk}
+		for i := 0; i < len(chunk); i += 3 {
+			st.del = append(st.del, chunk[i])
+		}
+		for i := 0; i < len(chunk); i += 5 {
+			st.fnd = append(st.fnd, chunk[i])
+		}
+		steps = append(steps, st)
+	}
+	return steps
+}
+
+// EpochRunner replays the epoch script through a live epoch.Server:
+// `workers` goroutines stripe each epoch's submissions, a Flush drives
+// the epoch, and the per-epoch quiescent snapshot is appended to the
+// observation. MaxBatch and QueueLimit are sized to the largest epoch
+// so no watermark split or admission shed can occur — the admitted
+// multiset, the determinism function's input, is exactly the script.
+// Chaos profiles perturb the admission, flush and delivery sites
+// (SiteEpochAdmit/Flush/Cancel); a delivery fault cancels a future,
+// never a table op, so the snapshots must not move.
+type EpochRunner struct {
+	Capacity int
+	Shards   int
+	Epochs   int // script epochs (default 4)
+}
+
+// Name implements Runner.
+func (r EpochRunner) Name() string { return "epoch" }
+
+// Run implements Runner.
+func (r EpochRunner) Run(elems []uint64, workers int) OracleResult {
+	if workers < 1 {
+		workers = 1
+	}
+	epochs := r.Epochs
+	if epochs <= 0 {
+		epochs = 4
+	}
+	steps := epochScript(elems, epochs)
+	limit := 1
+	for _, st := range steps {
+		if n := len(st.ins) + len(st.del) + len(st.fnd) + 1; n > limit {
+			limit = n
+		}
+	}
+	limit += 16
+	s := epoch.NewServerWith(
+		epoch.Config{MaxBatch: limit, QueueLimit: limit},
+		core.NewShardedTable[core.SetOps](r.Capacity, r.Shards))
+	defer s.Close(context.Background())
+
+	var layout, packed []uint64
+	count := 0
+	for _, st := range steps {
+		ops := st.ops()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if chaos.Enabled {
+					chaos.SkewWorker(chaos.SiteParallelWorker)
+				}
+				for i := w; i < len(ops); i += workers {
+					if _, err := s.Submit(context.Background(), ops[i].op, ops[i].key); err != nil {
+						// The queue is sized to the script; any admission
+						// error here is a harness bug, not a grid outcome.
+						panic(fmt.Sprintf("detres: epoch oracle Submit(%v, %#x): %v", ops[i].op, ops[i].key, err))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		s.Flush()
+		t := s.Table()
+		layout = append(layout, t.Snapshot()...)
+		packed = append(packed, t.Elements()...)
+		count += t.Count()
+	}
+	return OracleResult{Elements: packed, Layout: layout, Count: count}
+}
+
+// EpochRefRunner replays the same script through the bare bulk kernels:
+// per epoch, TryInsertAll then DeleteAll, then the same snapshot. It is
+// the epoch server with every moving part removed — no goroutines, no
+// admission, no futures — so RunCrossOracle(EpochRefRunner, EpochRunner)
+// asserts the whole scheduler path adds nothing to the state function.
+type EpochRefRunner struct {
+	Capacity int
+	Shards   int
+	Epochs   int
+}
+
+// Name implements Runner.
+func (r EpochRefRunner) Name() string { return "epoch-ref" }
+
+// Run implements Runner.
+func (r EpochRefRunner) Run(elems []uint64, workers int) OracleResult {
+	epochs := r.Epochs
+	if epochs <= 0 {
+		epochs = 4
+	}
+	t := core.NewShardedTable[core.SetOps](r.Capacity, r.Shards)
+	var layout, packed []uint64
+	count := 0
+	for _, st := range epochScript(elems, epochs) {
+		t.TryInsertAll(st.ins) // capacity is sized by the caller; ErrFull would diverge the layout and be caught
+		t.DeleteAll(st.del)
+		layout = append(layout, t.Snapshot()...)
+		packed = append(packed, t.Elements()...)
+		count += t.Count()
+	}
+	return OracleResult{Elements: packed, Layout: layout, Count: count}
+}

@@ -1,0 +1,76 @@
+package detres
+
+import (
+	"testing"
+
+	"phasehash/internal/sequence"
+)
+
+// epochOracleConfig is testOracleConfig with the worker axis capped at
+// 4: each epoch-runner cell spins a live server with real submitter
+// goroutines per worker, so the 8-worker column buys schedule variety
+// the 2- and 4-worker columns already provide, at double the cost.
+func epochOracleConfig(t *testing.T) OracleConfig {
+	cfg := testOracleConfig(t)
+	cfg.Workers = []int{1, 2, 4}
+	return cfg
+}
+
+// TestOracleGridEpoch is the serving-layer determinism gate: one
+// scripted epoch trace replayed through a live epoch.Server across the
+// full seed × worker × fault-profile grid, asserting the concatenated
+// per-epoch quiescent snapshots are byte-identical in every cell. Under
+// -tags chaos the admission, flush and delivery sites are perturbed —
+// including forced result cancellations (SiteEpochCancel), which must
+// corrupt only futures, never the table.
+func TestOracleGridEpoch(t *testing.T) {
+	cfg := epochOracleConfig(t)
+	if d := RunOracle(EpochRunner{Capacity: 4 * cfg.N, Shards: 8, Epochs: 4}, cfg); d != nil {
+		t.Fatal(d)
+	}
+}
+
+// TestOracleCrossPathEpochServer pins the scheduler to the bare
+// kernels: every epoch-server grid cell must match the goroutine-free
+// TryInsertAll/DeleteAll replay of the same script, byte for byte,
+// epoch by epoch. Any state the serving machinery leaks into the table
+// — a shed op reaching a kernel, a split reordering insert/delete
+// phases, a cancellation undoing a write — lands here.
+func TestOracleCrossPathEpochServer(t *testing.T) {
+	cfg := epochOracleConfig(t)
+	a := EpochRefRunner{Capacity: 4 * cfg.N, Shards: 8, Epochs: 4}
+	b := EpochRunner{Capacity: 4 * cfg.N, Shards: 8, Epochs: 4}
+	if d := RunCrossOracle(a, b, cfg); d != nil {
+		t.Fatal(d)
+	}
+}
+
+// TestEpochScriptDeterministic: the script itself (the oracle's ground
+// truth) must be a pure function of the workload — same chunks, same
+// per-epoch delete/find selections, on repeated derivation.
+func TestEpochScriptDeterministic(t *testing.T) {
+	elems := OracleWorkload(sequence.RandomInt, 1000, 42)
+	a := epochScript(elems, 4)
+	b := epochScript(elems, 4)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("epochs: %d and %d, want 4", len(a), len(b))
+	}
+	total := 0
+	for e := range a {
+		total += len(a[e].ins)
+		if len(a[e].ins) != len(b[e].ins) || len(a[e].del) != len(b[e].del) || len(a[e].fnd) != len(b[e].fnd) {
+			t.Fatalf("epoch %d: shapes differ across derivations", e)
+		}
+		for i := range a[e].ins {
+			if a[e].ins[i] != b[e].ins[i] {
+				t.Fatalf("epoch %d insert %d differs", e, i)
+			}
+		}
+		if want := (len(a[e].ins) + 2) / 3; len(a[e].del) != want {
+			t.Fatalf("epoch %d: %d deletes, want %d (every third)", e, len(a[e].del), want)
+		}
+	}
+	if total != len(elems) {
+		t.Fatalf("script covers %d of %d elements", total, len(elems))
+	}
+}

@@ -1,0 +1,55 @@
+//go:build chaos
+
+package epoch
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"phasehash/internal/chaos"
+)
+
+// TestChaosCancelCorruptsOnlyDelivery proves the SiteEpochCancel
+// injection is live and scoped: with a fault profile armed, result
+// deliveries are cancelled at a measurable rate, but every faulted op
+// has still executed — the table after the epoch is exactly what a
+// fault-free epoch leaves. This is the non-vacuousness check behind the
+// detres epoch oracle's byte-identity across fault profiles: if this
+// site never fired, the grid would prove nothing about cancellation.
+func TestChaosCancelCorruptsOnlyDelivery(t *testing.T) {
+	// Mid-rate faults: every CAS site shares FailPm, and a rate of 1000
+	// would force the insert CAS retry loops to lose forever.
+	chaos.Configure(chaos.Profile{Name: "cancelstorm", FailPm: 600, YieldPm: 100}, 7)
+	defer chaos.Disable()
+
+	s := manualServer(t, Config{Size: 1 << 12, MaxBatch: 1 << 10, QueueLimit: 1 << 10})
+	const n = 256
+	futs := make([]*Future, n)
+	for i := 0; i < n; i++ {
+		futs[i] = mustSubmit(t, s, OpInsert, uint64(i+1))
+	}
+	s.Flush()
+
+	cancelled := 0
+	for i, f := range futs {
+		res := mustResult(t, f)
+		switch {
+		case errors.Is(res.Err, context.Canceled):
+			cancelled++
+		case res.Err != nil:
+			t.Fatalf("insert %d: unexpected error %v", i, res.Err)
+		}
+		// Cancelled delivery or not, the insert must have landed.
+		if !s.Table().Contains(uint64(i + 1)) {
+			t.Fatalf("key %d missing after epoch (delivery fault reached the table)", i+1)
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no deliveries cancelled at FailPm=600: SiteEpochCancel injection is dead")
+	}
+	if got := s.Stats().Cancelled; got != uint64(cancelled) {
+		t.Fatalf("stats.Cancelled = %d, observed %d cancelled futures", got, cancelled)
+	}
+	t.Logf("cancelled %d/%d deliveries; table intact", cancelled, n)
+}

@@ -1,0 +1,127 @@
+package epoch
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestOverloadGracefulDegradation is the acceptance test for the
+// overload story: producers offer at least twice what the flusher can
+// sustain (FlushDelay caps capacity at MaxBatch ops per 5ms) and the
+// server must degrade gracefully rather than collapse —
+//
+//   - excess load is shed explicitly (ErrOverloaded, counted),
+//   - the pending queue never exceeds its configured bound,
+//   - admit-to-complete latency for ADMITTED ops stays bounded by the
+//     queue depth (a few epochs), nowhere near the run length it would
+//     approach if the queue were unbounded,
+//   - shutdown under load drains every admitted future.
+func TestOverloadGracefulDegradation(t *testing.T) {
+	const (
+		producers = 4
+		runFor    = 750 * time.Millisecond
+	)
+	cfg := Config{
+		Size:          1 << 12,
+		MaxBatch:      32,
+		QueueLimit:    64,
+		FlushInterval: time.Millisecond,
+		FlushDelay:    5 * time.Millisecond, // capacity ≈ 6.4k ops/s; tight submit loops offer far more
+	}
+	s := NewServer(cfg)
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		attempts  uint64
+	)
+	var wg, reapers sync.WaitGroup
+	stop := time.Now().Add(runFor)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			local := uint64(0)
+			for i := 0; time.Now().Before(stop); i++ {
+				local++
+				op := OpInsert
+				switch i % 4 {
+				case 1:
+					op = OpFind
+				case 3:
+					op = OpDelete
+				}
+				key := uint64(p*1009+i%1024) + 1
+				t0 := time.Now()
+				fut, err := s.Submit(context.Background(), op, key)
+				switch {
+				case err == nil:
+					reapers.Add(1)
+					go func() {
+						defer reapers.Done()
+						<-fut.Done()
+						d := time.Since(t0)
+						mu.Lock()
+						latencies = append(latencies, d)
+						mu.Unlock()
+					}()
+				case errors.Is(err, ErrOverloaded):
+					runtime.Gosched() // single-core CI: let the flusher drain
+				default:
+					t.Errorf("Submit: unexpected error %v", err)
+					return
+				}
+			}
+			mu.Lock()
+			attempts += local
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+
+	// Shutdown under load: Close must drain every admitted op.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close under load: %v", err)
+	}
+	reapers.Wait()
+
+	st := s.Stats()
+	t.Logf("attempts=%d admitted=%d flushed=%d shedOverload=%d epochs=%d maxQueue=%d",
+		attempts, st.Admitted, st.FlushedOps, st.ShedOverload, st.Epochs, st.MaxQueue)
+
+	if st.ShedOverload == 0 {
+		t.Fatal("no ErrOverloaded sheds: the load never exceeded capacity, test proves nothing")
+	}
+	if attempts < 2*st.FlushedOps {
+		t.Fatalf("offered load %d below 2x flushed %d: not an overload run", attempts, st.FlushedOps)
+	}
+	if st.MaxQueue > cfg.QueueLimit {
+		t.Fatalf("queue depth reached %d, bound is %d", st.MaxQueue, cfg.QueueLimit)
+	}
+	if uint64(len(latencies)) != st.Admitted {
+		t.Fatalf("resolved %d futures, admitted %d: Close leaked admitted ops", len(latencies), st.Admitted)
+	}
+	if len(latencies) == 0 {
+		t.Fatal("nothing admitted: no goodput under overload")
+	}
+
+	// Bounded latency for admitted work: the queue bound caps the
+	// backlog at QueueLimit/MaxBatch epochs plus the one in flight, so
+	// ~3 FlushDelays (~15ms) in theory. 250ms allows an order of
+	// magnitude of CI scheduling noise while still being far below the
+	// ~750ms an unbounded queue would push the tail toward.
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	p50 := latencies[len(latencies)/2]
+	t.Logf("admit-to-complete p50=%v p99=%v max=%v", p50, p99, latencies[len(latencies)-1])
+	if p99 > 250*time.Millisecond {
+		t.Fatalf("admitted p99 latency %v: not bounded by the queue depth", p99)
+	}
+}

@@ -102,6 +102,16 @@ const (
 	CtrShardBulkRuns  // shard runs handed to owners
 	CtrShardBulkElems // elements across all runs
 
+	// Epoch scheduler (internal/epoch).
+	CtrEpochAdmitted     // ops admitted past the admission gate
+	CtrEpochShedOverload // ops refused at admission (queue at limit, fail-fast)
+	CtrEpochShedDeadline // ops shed at flush time (deadline expired before the epoch)
+	CtrEpochCancelled    // result deliveries cancelled (client ctx / chaos injection)
+	CtrEpochFlushes      // epochs flushed through the table
+	CtrEpochFlushOps     // ops executed across all flushed epochs
+	CtrEpochSplits       // oversized pending batches split into extra epochs
+	CtrEpochInsertFull   // insert futures resolved with ErrFull
+
 	NumCounters = int(iota)
 )
 
@@ -132,6 +142,14 @@ var counterNames = [NumCounters]string{
 	CtrShardBulkCalls:      "shard-bulk-calls",
 	CtrShardBulkRuns:       "shard-bulk-runs",
 	CtrShardBulkElems:      "shard-bulk-elems",
+	CtrEpochAdmitted:       chaos.SiteNameEpochAdmit + "-ops",
+	CtrEpochShedOverload:   chaos.SiteNameEpochAdmit + "-shed-overload",
+	CtrEpochShedDeadline:   chaos.SiteNameEpochFlush + "-shed-deadline",
+	CtrEpochCancelled:      chaos.SiteNameEpochCancel + "-ops",
+	CtrEpochFlushes:        chaos.SiteNameEpochFlush + "-epochs",
+	CtrEpochFlushOps:       chaos.SiteNameEpochFlush + "-ops",
+	CtrEpochSplits:         chaos.SiteNameEpochFlush + "-splits",
+	CtrEpochInsertFull:     chaos.SiteNameEpochFlush + "-insert-full",
 }
 
 // String returns the counter's stable name.
@@ -257,6 +275,16 @@ type Snapshot struct {
 	// total elements (1000 = perfectly balanced).
 	MaxShardImbalancePm uint64
 
+	// EpochLatency is the admit-to-complete latency histogram of epoch
+	// scheduler ops, in microseconds (power-of-two buckets, like the
+	// probe histograms). Wall-clock: never schedule-independent.
+	EpochLatency Histogram
+
+	// MaxEpochQueueDepth is the deepest admission queue observed by the
+	// epoch scheduler; it must never exceed the configured queue limit
+	// (the overload tests assert this against Server.Stats too).
+	MaxEpochQueueDepth uint64
+
 	// WorkerBlocks[i] is the number of loop blocks executed by pool
 	// worker i (index 0 is the dispatching goroutine). Trailing zero
 	// workers are trimmed.
@@ -358,6 +386,9 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 		P99InsertProbe      int               `json:"p99_insert_probe"`
 		CASRetryRate        float64           `json:"cas_retry_rate"`
 		MaxShardImbalancePm uint64            `json:"max_shard_imbalance_pm"`
+		EpochLatency        Histogram         `json:"epoch_latency_us_hist"`
+		P99EpochLatencyUs   int               `json:"p99_epoch_latency_us"`
+		MaxEpochQueueDepth  uint64            `json:"max_epoch_queue_depth"`
 		WorkerBlocks        []uint64          `json:"worker_blocks,omitempty"`
 		Spans               []PhaseSpan       `json:"spans,omitempty"`
 		SpansDropped        uint64            `json:"spans_dropped,omitempty"`
@@ -371,6 +402,9 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 		P99InsertProbe:      s.InsertProbes.Quantile(0.99),
 		CASRetryRate:        s.CASRetryRate(),
 		MaxShardImbalancePm: s.MaxShardImbalancePm,
+		EpochLatency:        s.EpochLatency,
+		P99EpochLatencyUs:   s.EpochLatency.Quantile(0.99),
+		MaxEpochQueueDepth:  s.MaxEpochQueueDepth,
 		WorkerBlocks:        s.WorkerBlocks,
 		Spans:               s.Spans,
 		SpansDropped:        s.SpansDropped,
@@ -397,6 +431,13 @@ func (s *Snapshot) String() string {
 	if r := s.Counters[CtrShardBulkRuns]; r > 0 {
 		fmt.Fprintf(&b, "; shard runs=%d elems=%d imbalance=%.2fx",
 			r, s.Counters[CtrShardBulkElems], float64(s.MaxShardImbalancePm)/1000)
+	}
+	if e := s.Counters[CtrEpochFlushes]; e > 0 {
+		fmt.Fprintf(&b, "; epochs=%d ops=%d splits=%d shed(ovl=%d ddl=%d) cancelled=%d full=%d p99lat=%dus maxq=%d",
+			e, s.Counters[CtrEpochFlushOps], s.Counters[CtrEpochSplits],
+			s.Counters[CtrEpochShedOverload], s.Counters[CtrEpochShedDeadline],
+			s.Counters[CtrEpochCancelled], s.Counters[CtrEpochInsertFull],
+			s.EpochLatency.Quantile(0.99), s.MaxEpochQueueDepth)
 	}
 	return b.String()
 }

@@ -39,6 +39,21 @@ func RecordCursorMiss(n uint64) {}
 // RecordShardBulk is a no-op without the obs tag.
 func RecordShardBulk(offsets []int) {}
 
+// RecordEpochAdmit is a no-op without the obs tag.
+func RecordEpochAdmit(depth int) {}
+
+// RecordEpochShed is a no-op without the obs tag.
+func RecordEpochShed(overload bool) {}
+
+// RecordEpochCancel is a no-op without the obs tag.
+func RecordEpochCancel() {}
+
+// RecordEpochFlush is a no-op without the obs tag.
+func RecordEpochFlush(ops int, split bool, insertFull int) {}
+
+// RecordEpochLatency is a no-op without the obs tag.
+func RecordEpochLatency(us uint64) {}
+
 // ActiveSpan is an in-progress phase-timeline span. Without the obs tag
 // it carries no state and all methods are no-ops; a nil *ActiveSpan is
 // always safe to use.

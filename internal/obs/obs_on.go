@@ -54,6 +54,14 @@ var (
 	// shardImbalancePm is a WriteMax gauge (per-mille, 1000 = balanced).
 	shardImbalancePm uint64
 
+	// epochQueueDepth is a WriteMax gauge of the epoch admission queue.
+	epochQueueDepth uint64
+
+	// epochLatencyH is the admit-to-complete latency histogram in µs
+	// (shared, atomic buckets: epoch completions are batched, far less
+	// frequent than per-probe hooks, so striping buys nothing).
+	epochLatencyH [NumProbeBuckets]atomic.Uint64
+
 	processStart = time.Now()
 
 	timeline struct {
@@ -166,6 +174,50 @@ func RecordShardBulk(offsets []int) {
 	}
 }
 
+// RecordEpochAdmit publishes one admitted epoch op and the admission
+// queue depth it observed (fed to the max-depth gauge).
+func RecordEpochAdmit(depth int) {
+	sinks[4].counters[CtrEpochAdmitted].Add(1)
+	atomicx.WriteMax(&epochQueueDepth, uint64(depth))
+}
+
+// RecordEpochShed counts one shed op: overload = refused at admission,
+// otherwise shed at flush time for an expired deadline.
+func RecordEpochShed(overload bool) {
+	if overload {
+		sinks[4].counters[CtrEpochShedOverload].Add(1)
+	} else {
+		sinks[4].counters[CtrEpochShedDeadline].Add(1)
+	}
+}
+
+// RecordEpochCancel counts one cancelled result delivery (client ctx
+// cancellation or chaos-injected mid-epoch cancellation).
+func RecordEpochCancel() {
+	sinks[4].counters[CtrEpochCancelled].Add(1)
+}
+
+// RecordEpochFlush publishes one flushed epoch: ops executed, whether
+// the epoch came from splitting an oversized pending batch, and how
+// many insert futures resolved with ErrFull.
+func RecordEpochFlush(ops int, split bool, insertFull int) {
+	s := &sinks[5]
+	s.counters[CtrEpochFlushes].Add(1)
+	s.counters[CtrEpochFlushOps].Add(uint64(ops))
+	if split {
+		s.counters[CtrEpochSplits].Add(1)
+	}
+	if insertFull > 0 {
+		s.counters[CtrEpochInsertFull].Add(uint64(insertFull))
+	}
+}
+
+// RecordEpochLatency adds one op's admit-to-complete latency (µs) to
+// the epoch latency histogram.
+func RecordEpochLatency(us uint64) {
+	epochLatencyH[BucketOf(int(us))].Add(1)
+}
+
 // ActiveSpan is an in-progress phase-timeline span: one maximal
 // interval of continuous phase activity on a PhaseGuard. It doubles as
 // a runtime/trace user task, so `go tool trace` shows phases under
@@ -234,6 +286,10 @@ func TakeSnapshot() Snapshot {
 		}
 	}
 	snap.MaxShardImbalancePm = atomicx.Load(&shardImbalancePm)
+	snap.MaxEpochQueueDepth = atomicx.Load(&epochQueueDepth)
+	for b := 0; b < NumProbeBuckets; b++ {
+		snap.EpochLatency[b] = epochLatencyH[b].Load()
+	}
 	last := -1
 	var blocks [maxWorkers]uint64
 	for i := range workerBlocks {
@@ -271,6 +327,10 @@ func Reset() {
 		workerBlocks[i].Store(0)
 	}
 	atomicx.Store(&shardImbalancePm, 0)
+	atomicx.Store(&epochQueueDepth, 0)
+	for b := range epochLatencyH {
+		epochLatencyH[b].Store(0)
+	}
 	timeline.mu.Lock()
 	timeline.spans = nil
 	timeline.dropped = 0

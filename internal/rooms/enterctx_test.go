@@ -1,0 +1,172 @@
+package rooms
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEnterCtxUncontended: with no contention EnterCtx behaves exactly
+// like Enter.
+func TestEnterCtxUncontended(t *testing.T) {
+	r := New(2)
+	if err := r.EnterCtx(context.Background(), 1); err != nil {
+		t.Fatalf("EnterCtx: %v", err)
+	}
+	if room, n := r.Occupancy(); room != 1 || n != 1 {
+		t.Fatalf("occupancy (%d,%d), want (1,1)", room, n)
+	}
+	r.Exit(1)
+}
+
+// TestEnterCtxExpired: an already-done context never touches the
+// waiter accounting.
+func TestEnterCtxExpired(t *testing.T) {
+	r := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r.EnterCtx(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if w := r.Waiting(0); w != 0 {
+		t.Fatalf("Waiting(0) = %d after refused entry", w)
+	}
+	if room, n := r.Occupancy(); room != -1 || n != 0 {
+		t.Fatalf("occupancy (%d,%d) after refused entry", room, n)
+	}
+}
+
+// TestEnterCtxAbandonWhileWaiting: a waiter that gives up (deadline,
+// shutdown) must retract its waiting count and must not block later
+// entrants — the wedge this satellite exists to pin down.
+func TestEnterCtxAbandonWhileWaiting(t *testing.T) {
+	r := New(2)
+	r.Enter(0) // hold room 0 so room 1 waiters park
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- r.EnterCtx(ctx, 1) }()
+	for r.Waiting(1) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("EnterCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	if w := r.Waiting(1); w != 0 {
+		t.Fatalf("Waiting(1) = %d after abandon: waiter count leaked", w)
+	}
+
+	// The room machinery must still work: release room 0, then a plain
+	// Enter into each room.
+	r.Exit(0)
+	done := make(chan struct{})
+	go func() {
+		r.With(1, func() {})
+		r.With(0, func() {})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("rooms wedged after abandoned waiter")
+	}
+}
+
+// TestEnterCtxAbandonedPreferenceDoesNotWedge: the rotation may prefer
+// the abandoning waiter's room; after it retracts, waiters for OTHER
+// rooms must still be admitted.
+func TestEnterCtxAbandonedPreferenceDoesNotWedge(t *testing.T) {
+	r := New(3)
+	r.Enter(0) // hold room 0
+
+	// Room 1 waiter (will abandon) parks first so rotation prefers room
+	// 1; room 2 waiter parks behind it.
+	ctx, cancel := context.WithCancel(context.Background())
+	abandoned := make(chan error, 1)
+	go func() { abandoned <- r.EnterCtx(ctx, 1) }()
+	for r.Waiting(1) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	got2 := make(chan struct{})
+	go func() {
+		r.Enter(2)
+		close(got2)
+	}()
+	for r.Waiting(2) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	if err := <-abandoned; !errors.Is(err, context.Canceled) {
+		t.Fatalf("EnterCtx = %v, want context.Canceled", err)
+	}
+	r.Exit(0) // rotation must now land on room 2, not the empty room 1
+	select {
+	case <-got2:
+	case <-time.After(5 * time.Second):
+		t.Fatal("room 2 waiter wedged behind an abandoned room 1 preference")
+	}
+	r.Exit(2)
+}
+
+// TestEnterCtxMixedStress: plain and cancellable entrants race with a
+// steady trickle of abandoning waiters; afterwards no waiter count may
+// remain and every room must still be enterable.
+func TestEnterCtxMixedStress(t *testing.T) {
+	r := New(3)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			room := g % 3
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.With(room, func() {})
+			}
+		}(g)
+	}
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			room := g % 3
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%3)*100*time.Microsecond)
+				if err := r.EnterCtx(ctx, room); err == nil {
+					r.Exit(room)
+				}
+				cancel()
+			}
+		}(g)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	for id := 0; id < 3; id++ {
+		if w := r.Waiting(id); w != 0 {
+			t.Fatalf("Waiting(%d) = %d after stress: leaked waiter count", id, w)
+		}
+	}
+	for id := 0; id < 3; id++ {
+		r.With(id, func() {})
+	}
+}

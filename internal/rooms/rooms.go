@@ -17,6 +17,7 @@
 package rooms
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -63,6 +64,48 @@ func (r *Rooms) Enter(id int) {
 	r.waiting[id]--
 	r.current = id
 	r.inside++
+}
+
+// EnterCtx is Enter with cancellation: it occupies room id and returns
+// nil, or gives up when ctx is done and returns ctx.Err() WITHOUT
+// occupying the room. An abandoning waiter cleanly retracts its
+// waiting count and re-wakes the other waiters, so the rotation cannot
+// wedge pointing at a room nobody wants anymore — the shutdown/deadline
+// path of anything built on rooms (e.g. a server draining its phase
+// scheduler) depends on that.
+func (r *Rooms) EnterCtx(ctx context.Context, id int) error {
+	if id < 0 || id >= r.nRooms {
+		panic(fmt.Sprintf("rooms: bad room id %d", id))
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// The callback takes the mutex before broadcasting, ordering the
+	// wake-up after this goroutine parks in Wait: no missed wakeup.
+	stop := context.AfterFunc(ctx, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer stop()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.waiting[id]++
+	for !r.admissible(id) {
+		if err := ctx.Err(); err != nil {
+			r.waiting[id]--
+			// The abandoned slot may have been the rotation's next target;
+			// re-wake everyone so admissibility is recomputed against the
+			// corrected counts.
+			r.cond.Broadcast()
+			return err
+		}
+		r.cond.Wait()
+	}
+	r.waiting[id]--
+	r.current = id
+	r.inside++
+	return nil
 }
 
 // admissible reports whether a goroutine may enter room id now.
@@ -131,4 +174,16 @@ func (r *Rooms) Occupancy() (int, int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.current, r.inside
+}
+
+// Waiting reports how many goroutines are currently waiting to enter
+// room id; for diagnostics and leak checks (an abandoned EnterCtx must
+// leave this at zero).
+func (r *Rooms) Waiting(id int) int {
+	if id < 0 || id >= r.nRooms {
+		panic(fmt.Sprintf("rooms: bad room id %d", id))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.waiting[id]
 }
