@@ -38,6 +38,8 @@ install-phasevet:
 fuzz:
 	go test -fuzz=FuzzWordTableOps -fuzztime=30s ./internal/core
 	go test -fuzz=FuzzGrowTable -fuzztime=30s ./internal/core
+	go test -fuzz=FuzzCtrlScan -fuzztime=30s ./internal/core
+	go test -fuzz=FuzzCompactTableOps -fuzztime=30s ./internal/core
 	go test -tags chaos -fuzz=FuzzGrowTableChaos -fuzztime=30s ./internal/core
 
 # chaos = the fault-injected determinism gate CI blocks on: the whole

@@ -45,6 +45,10 @@ type Result struct {
 	AllocsOp   *Stat   `json:"allocs_per_op,omitempty"`
 	ElemsPerOp float64 `json:"elems_per_op,omitempty"`
 
+	// BytesPerElem is backing-array bytes over stored elements — the
+	// memory column the compact-vs-flat table rows are compared on.
+	BytesPerElem float64 `json:"bytes_per_elem,omitempty"`
+
 	// Telemetry metrics reported by -tags obs benchmark runs
 	// (b.ReportMetric in internal/core): mean and p99 probe length and
 	// CAS retries, all per operation. Absent from untagged baselines.
@@ -132,6 +136,7 @@ func parse(in io.Reader) (Doc, error) {
 	var doc Doc
 	type row struct {
 		ns, bytes, allocs, elems    *accum
+		bytesElem                   *accum
 		probes, p99probes, casretry *accum
 		p50admit, p99admit, shed    *accum
 	}
@@ -171,7 +176,8 @@ func parse(in io.Reader) (Doc, error) {
 		if r == nil {
 			r = &row{
 				ns: &accum{}, bytes: &accum{}, allocs: &accum{}, elems: &accum{},
-				probes: &accum{}, p99probes: &accum{}, casretry: &accum{},
+				bytesElem: &accum{},
+				probes:    &accum{}, p99probes: &accum{}, casretry: &accum{},
 				p50admit: &accum{}, p99admit: &accum{}, shed: &accum{},
 			}
 			rows[name] = r
@@ -192,6 +198,8 @@ func parse(in io.Reader) (Doc, error) {
 				r.allocs.add(v)
 			case "elems/op":
 				r.elems.add(v)
+			case "bytes/elem":
+				r.bytesElem.add(v)
 			case "probes/op":
 				r.probes.add(v)
 			case "p99probes/op":
@@ -229,6 +237,9 @@ func parse(in io.Reader) (Doc, error) {
 		}
 		if len(r.elems.vals) > 0 {
 			res.ElemsPerOp = r.elems.stat().Mean
+		}
+		if len(r.bytesElem.vals) > 0 {
+			res.BytesPerElem = r.bytesElem.stat().Mean
 		}
 		if len(r.probes.vals) > 0 {
 			res.ProbesPerOp = r.probes.stat().Mean

@@ -86,7 +86,7 @@ goarch: amd64
 pkg: phasehash/internal/epoch
 BenchmarkEpochServerMixed 	   10000	       950 ns/op	       120 B/op	       2 allocs/op	       180.5 p50admit-us	      1200 p99admit-us	     0.25 shed/op
 BenchmarkEpochServerMixed 	   10000	      1050 ns/op	       120 B/op	       2 allocs/op	       219.5 p50admit-us	      1400 p99admit-us	     0.75 shed/op
-BenchmarkInsertAll 	     100	    500000 ns/op	      4096 elems/op	      1.50 probes/op
+BenchmarkInsertAll 	     100	    500000 ns/op	      4096 elems/op	      10.00 bytes/elem	      1.50 probes/op
 `)
 	doc, err := parse(in)
 	if err != nil {
@@ -111,6 +111,9 @@ BenchmarkInsertAll 	     100	    500000 ns/op	      4096 elems/op	      1.50 pro
 	core := doc.Results[1]
 	if core.ProbesPerOp != 1.5 || core.ElemsPerOp != 4096 {
 		t.Errorf("core row: probes=%v elems=%v", core.ProbesPerOp, core.ElemsPerOp)
+	}
+	if core.BytesPerElem != 10 {
+		t.Errorf("bytes_per_elem = %v, want 10", core.BytesPerElem)
 	}
 	if core.P50AdmitUs != 0 || core.ShedPerOp != 0 {
 		t.Errorf("core row picked up epoch metrics: %+v", core)

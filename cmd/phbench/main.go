@@ -41,6 +41,7 @@ func main() {
 		figure3 = flag.Bool("figure3", false, "print Figure 3's two panels (parallel times, bar-chart series)")
 		reps    = flag.Int("reps", 1, "repetitions (minimum time reported)")
 		stats   = flag.Bool("stats", false, "print mean/p99 probe length and CAS-retry rate under each cell (needs a -tags obs build)")
+		mem     = flag.Bool("mem", false, "print a backing-array bytes/elem column per selected table kind and exit")
 	)
 	flag.Parse()
 	if *stats && !obs.Enabled {
@@ -49,6 +50,10 @@ func main() {
 	}
 	if *size == 0 {
 		*size = ceilPow2(*n * 8 / 3)
+	}
+	if *mem {
+		runMem(parseKinds(*kinds), *n, *size)
+		return
 	}
 	if *table2 {
 		runTable2(*n, *reps)
@@ -104,6 +109,22 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+}
+
+// runMem prints the bytes/elem column: backing-array bytes at the
+// benchmark's table size over the n elements it holds. Kinds without
+// memory accounting (chained tables, whose footprint tracks the live
+// set; the comparison baselines) print "-".
+func runMem(kinds []tables.Kind, n, size int) {
+	fmt.Printf("# memory: backing-array bytes per element; %d elements, %d cells\n", n, size)
+	fmt.Printf("%-22s %12s\n", "table", "bytes/elem")
+	for _, kind := range kinds {
+		if bpe := bench.BytesPerElem(kind, n, size); bpe > 0 {
+			fmt.Printf("%-22s %12.2f\n", kind, bpe)
+		} else {
+			fmt.Printf("%-22s %12s\n", kind, "-")
+		}
 	}
 }
 

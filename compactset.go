@@ -1,0 +1,88 @@
+package phasehash
+
+import "phasehash/internal/core"
+
+// This file exposes the compact fingerprint-probed table
+// (internal/core/compact.go): the deterministic table's cells plus a
+// byte-per-slot control array holding a 7-bit fingerprint of each
+// occupant's hash, scanned eight slots per 64-bit load. Finds read the
+// control array and touch a cell only on a fingerprint match, so probe
+// clusters cost loaded bytes proportional to 1/8 of the flat table's —
+// which is what keeps find throughput up at load factors the flat
+// table's sizing rules avoid. NewCompactSet therefore sizes for a 0.9
+// target load instead of NewSet's ~0.5, trading probe-cluster length
+// (absorbed by the control array) for a much smaller footprint.
+//
+// Determinism is unchanged: the cells obey exactly the flat table's
+// probe discipline (byte-identical layout at equal capacity), and the
+// quiescent control array is a pure function of the cells, so both are
+// independent of schedule and worker count.
+
+// CompactSet is a deterministic phase-concurrent set of uint64 keys
+// backed by the compact fingerprint-probed table (key 0 is reserved).
+type CompactSet struct {
+	t *core.CompactTable[core.SetOps]
+}
+
+// NewCompactSet returns a compact set with capacity for at least
+// capacity keys. The backing array is sized so the requested capacity
+// fits within a 0.9 load factor, then rounded up to a power of two —
+// at worst 10 bytes per requested key, against the flat Set's 16-32.
+func NewCompactSet(capacity int) *CompactSet {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &CompactSet{t: core.NewCompactTable[core.SetOps](capacity + capacity/9 + 1)}
+}
+
+// Insert adds k (insert phase), reporting whether the set grew. It
+// panics on the reserved key 0 and on a full set; use TryInsert where
+// saturation must degrade gracefully.
+func (s *CompactSet) Insert(k uint64) bool { return s.t.Insert(k) }
+
+// TryInsert is Insert returning ErrReservedKey / ErrFull (matchable
+// with errors.Is) instead of panicking.
+func (s *CompactSet) TryInsert(k uint64) (bool, error) { return s.t.TryInsert(k) }
+
+// Contains reports whether k is present (read phase).
+func (s *CompactSet) Contains(k uint64) bool { return s.t.Contains(k) }
+
+// Delete removes k (delete phase), reporting whether it was removed.
+func (s *CompactSet) Delete(k uint64) bool { return s.t.Delete(k) }
+
+// InsertAll inserts every key with the staged bulk kernel (insert
+// phase) and returns how many grew the set. It panics on the reserved
+// key 0 and on a full set; use TryInsertAll where saturation must
+// degrade gracefully.
+func (s *CompactSet) InsertAll(keys []uint64) int { return s.t.InsertAll(keys) }
+
+// TryInsertAll is InsertAll returning errors instead of panicking
+// (ErrReservedKey, ErrFull — matchable with errors.Is); every key is
+// attempted.
+func (s *CompactSet) TryInsertAll(keys []uint64) (int, error) { return s.t.TryInsertAll(keys) }
+
+// ContainsAll reports how many of the keys are present with the staged
+// bulk kernel (read phase).
+func (s *CompactSet) ContainsAll(keys []uint64) int { return s.t.ContainsAll(keys) }
+
+// DeleteAll deletes every key with the staged bulk kernel (delete
+// phase) and returns how many were removed.
+func (s *CompactSet) DeleteAll(keys []uint64) int { return s.t.DeleteAll(keys) }
+
+// Elements returns the keys in the deterministic table order (read
+// phase): for a given key set and capacity the result is identical on
+// every run, schedule and worker count.
+func (s *CompactSet) Elements() []uint64 { return s.t.Elements() }
+
+// Count returns the number of keys (read phase).
+func (s *CompactSet) Count() int { return s.t.Count() }
+
+// Capacity returns the cell count of the backing array.
+func (s *CompactSet) Capacity() int { return s.t.Size() }
+
+// Bytes returns the backing-array footprint in bytes: 9 per cell
+// (8 for the cell, 1 for its control byte).
+func (s *CompactSet) Bytes() int { return s.t.Bytes() }
+
+// Clear empties the set (quiescent use only).
+func (s *CompactSet) Clear() { s.t.Clear() }

@@ -1,0 +1,96 @@
+package phasehash
+
+import (
+	"errors"
+	"sort"
+	"testing"
+)
+
+func TestCompactSetFacade(t *testing.T) {
+	s := NewCompactSet(1 << 12)
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i%400 + 1) // duplicates: 400 distinct
+	}
+	if added := s.InsertAll(keys); added != 400 {
+		t.Fatalf("InsertAll added %d, want 400", added)
+	}
+	if got := s.ContainsAll(keys); got != len(keys) {
+		t.Fatalf("ContainsAll = %d, want %d", got, len(keys))
+	}
+	if !s.Contains(17) || s.Contains(401) {
+		t.Fatal("per-element Contains wrong")
+	}
+	if s.Count() != 400 {
+		t.Fatalf("Count = %d, want 400", s.Count())
+	}
+	got := s.Elements()
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i := 0; i < 400; i++ {
+		if got[i] != uint64(i+1) {
+			t.Fatalf("Elements missing %d", i+1)
+		}
+	}
+	if removed := s.DeleteAll(keys[:500]); removed == 0 {
+		t.Fatal("DeleteAll removed nothing")
+	}
+	if _, err := s.TryInsert(0); !errors.Is(err, ErrReservedKey) {
+		t.Fatal("TryInsert(0) did not report ErrReservedKey")
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Fatal("Clear left elements")
+	}
+}
+
+// TestCompactSetSizing pins the 0.9-target sizing contract: the
+// requested capacity always fits, and a capacity just under a
+// power-of-two boundary divided by 0.9 does not double the array the
+// way NewSet's direct rounding would.
+func TestCompactSetSizing(t *testing.T) {
+	// 1<<12 keys at 0.9 load need 4551 cells -> 8192; the flat Set
+	// would also pick 4096 for the keys alone but run at load 1.0.
+	s := NewCompactSet(1 << 12)
+	if s.Capacity() != 1<<13 {
+		t.Fatalf("Capacity = %d, want %d", s.Capacity(), 1<<13)
+	}
+	if want := (1 << 13) * 9; s.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", s.Bytes(), want)
+	}
+	// 7000 keys need 7779 cells: fits in 8192 at load 0.85 — under the
+	// 0.9 ceiling with no doubling.
+	if got := NewCompactSet(7000).Capacity(); got != 1<<13 {
+		t.Fatalf("Capacity(7000) = %d, want %d", got, 1<<13)
+	}
+	for _, capacity := range []int{0, 1, 10, 100, 4096, 7000, 100000} {
+		s := NewCompactSet(capacity)
+		if float64(capacity) > 0.9*float64(s.Capacity()) {
+			t.Fatalf("capacity %d exceeds 0.9 load on %d cells", capacity, s.Capacity())
+		}
+	}
+}
+
+// TestCompactSetDeterministicElements pins the public determinism
+// contract: same key set and capacity => same Elements order,
+// regardless of insertion path and batch order.
+func TestCompactSetDeterministicElements(t *testing.T) {
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	a := NewCompactSet(1 << 13)
+	a.InsertAll(keys)
+	b := NewCompactSet(1 << 13)
+	for i := len(keys) - 1; i >= 0; i-- { // reversed, per-element
+		b.Insert(keys[i])
+	}
+	ae, be := a.Elements(), b.Elements()
+	if len(ae) != len(be) {
+		t.Fatalf("element counts differ: %d vs %d", len(ae), len(be))
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("Elements diverge at %d: %#x vs %#x", i, ae[i], be[i])
+		}
+	}
+}

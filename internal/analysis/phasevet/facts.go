@@ -73,9 +73,10 @@ var checkedWrapper = map[string]string{
 // and cross-checked against phaseFacts at init, so a future fact
 // addition cannot silently subject them to the discipline.
 var phaseNeutral = map[factKey]bool{
-	{"phasehash", "ShardedSet", "ShardStats"}:                 true,
-	{"phasehash", "ShardedMap32", "ShardStats"}:               true,
-	{"phasehash/internal/core", "ShardedTable", "ShardStats"}: true,
+	{"phasehash", "ShardedSet", "ShardStats"}:                        true,
+	{"phasehash", "ShardedMap32", "ShardStats"}:                      true,
+	{"phasehash/internal/core", "ShardedTable", "ShardStats"}:        true,
+	{"phasehash/internal/core", "ShardedCompactTable", "ShardStats"}: true,
 }
 
 func addFacts(pkg, typ string, methods map[string]methodFact) {
@@ -133,6 +134,18 @@ func init() {
 		"Count":        {phase: PhaseRead, capture: true},
 	})
 	addFacts(ph, "GrowSet", map[string]methodFact{
+		"Insert":       {phase: PhaseInsert},
+		"TryInsert":    {phase: PhaseInsert},
+		"InsertAll":    {phase: PhaseInsert},
+		"TryInsertAll": {phase: PhaseInsert},
+		"Delete":       {phase: PhaseDelete},
+		"DeleteAll":    {phase: PhaseDelete},
+		"Contains":     {phase: PhaseRead},
+		"ContainsAll":  {phase: PhaseRead},
+		"Elements":     {phase: PhaseRead, capture: true},
+		"Count":        {phase: PhaseRead, capture: true},
+	})
+	addFacts(ph, "CompactSet", map[string]methodFact{
 		"Insert":       {phase: PhaseInsert},
 		"TryInsert":    {phase: PhaseInsert},
 		"InsertAll":    {phase: PhaseInsert},
@@ -205,6 +218,39 @@ func init() {
 		"Count":        {phase: PhaseRead, capture: true},
 	})
 	addFacts(core, "ShardedTable", map[string]methodFact{
+		"Insert":       {phase: PhaseInsert},
+		"TryInsert":    {phase: PhaseInsert},
+		"InsertAll":    {phase: PhaseInsert},
+		"TryInsertAll": {phase: PhaseInsert},
+		"Delete":       {phase: PhaseDelete},
+		"DeleteAll":    {phase: PhaseDelete},
+		"Find":         {phase: PhaseRead},
+		"FindAll":      {phase: PhaseRead},
+		"Contains":     {phase: PhaseRead},
+		"ContainsAll":  {phase: PhaseRead},
+		"Elements":     {phase: PhaseRead, capture: true},
+		"ElementsInto": {phase: PhaseRead, capture: true},
+		"Count":        {phase: PhaseRead, capture: true},
+		"ForEach":      {phase: PhaseRead},
+	})
+	addFacts(core, "CompactTable", map[string]methodFact{
+		"Insert":       {phase: PhaseInsert},
+		"TryInsert":    {phase: PhaseInsert},
+		"InsertAll":    {phase: PhaseInsert},
+		"TryInsertAll": {phase: PhaseInsert},
+		"Delete":       {phase: PhaseDelete},
+		"DeleteAll":    {phase: PhaseDelete},
+		"Find":         {phase: PhaseRead},
+		"FindAll":      {phase: PhaseRead},
+		"Contains":     {phase: PhaseRead},
+		"ContainsAll":  {phase: PhaseRead},
+		"Elements":     {phase: PhaseRead, capture: true},
+		"ElementsInto": {phase: PhaseRead, capture: true},
+		"Count":        {phase: PhaseRead, capture: true},
+		"CountAtomic":  {phase: PhaseRead, capture: true},
+		"ForEach":      {phase: PhaseRead},
+	})
+	addFacts(core, "ShardedCompactTable", map[string]methodFact{
 		"Insert":       {phase: PhaseInsert},
 		"TryInsert":    {phase: PhaseInsert},
 		"InsertAll":    {phase: PhaseInsert},

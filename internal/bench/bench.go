@@ -89,6 +89,22 @@ func newTableForDist(kind tables.Kind, d sequence.Distribution, size int) tables
 	return tables.MustNew[core.SetOps](kind, size)
 }
 
+// BytesPerElem reports the backing-array bytes per stored element for
+// a table kind at Table 1's configuration: a table of tableSize cells
+// holding n elements. Kinds that do not implement tables.Memory
+// report 0 (printed as "-" by phbench -mem).
+func BytesPerElem(kind tables.Kind, n, tableSize int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	tab := tables.MustNew[core.SetOps](kind, tableSize)
+	m, ok := tables.AsMemory(tab)
+	if !ok {
+		return 0
+	}
+	return float64(m.Bytes()) / float64(n)
+}
+
 // timedPhase measures f and, in -tags obs builds, brackets it with a
 // phase-timeline span (and runtime/trace task) named name — so a
 // `go tool trace` of a benchmark run shows each measured phase as a

@@ -35,22 +35,28 @@ type Site uint8
 
 // Injection sites.
 const (
-	SiteWordInsertProbe    Site = iota // top of WordTable insert probe loop
-	SiteWordInsertClaim                // empty-cell claim CAS in WordTable inserts
-	SiteWordInsertMerge                // duplicate-merge CAS in WordTable inserts
-	SiteWordInsertDisplace             // displacement CAS in WordTable inserts
-	SiteWordDeleteProbe                // WordTable delete probe/replacement loops
-	SitePtrInsertProbe                 // top of PtrTable insert probe loop
-	SitePtrInsertClaim                 // empty-cell claim CAS in PtrTable.Insert
-	SitePtrInsertMerge                 // duplicate-merge CAS in PtrTable.Insert
-	SitePtrInsertDisplace              // displacement CAS in PtrTable.Insert
-	SitePtrDeleteProbe                 // PtrTable delete probe/replacement loops
-	SiteGrowMigrate                    // per-element step of GrowTable.migrate
-	SiteGrowDrain                      // per-element step of GrowTable.drainLocked
-	SiteParallelWorker                 // worker goroutine start in parallel.For/Do
-	SiteEpochAdmit                     // epoch.Server.Submit admission path
-	SiteEpochFlush                     // start of each epoch flush (delayed flush / stalled worker)
-	SiteEpochCancel                    // epoch result delivery (forced mid-epoch cancellation)
+	SiteWordInsertProbe       Site = iota // top of WordTable insert probe loop
+	SiteWordInsertClaim                   // empty-cell claim CAS in WordTable inserts
+	SiteWordInsertMerge                   // duplicate-merge CAS in WordTable inserts
+	SiteWordInsertDisplace                // displacement CAS in WordTable inserts
+	SiteWordDeleteProbe                   // WordTable delete probe/replacement loops
+	SitePtrInsertProbe                    // top of PtrTable insert probe loop
+	SitePtrInsertClaim                    // empty-cell claim CAS in PtrTable.Insert
+	SitePtrInsertMerge                    // duplicate-merge CAS in PtrTable.Insert
+	SitePtrInsertDisplace                 // displacement CAS in PtrTable.Insert
+	SitePtrDeleteProbe                    // PtrTable delete probe/replacement loops
+	SiteGrowMigrate                       // per-element step of GrowTable.migrate
+	SiteGrowDrain                         // per-element step of GrowTable.drainLocked
+	SiteParallelWorker                    // worker goroutine start in parallel.For/Do
+	SiteEpochAdmit                        // epoch.Server.Submit admission path
+	SiteEpochFlush                        // start of each epoch flush (delayed flush / stalled worker)
+	SiteEpochCancel                       // epoch result delivery (forced mid-epoch cancellation)
+	SiteCompactInsertProbe                // top of CompactTable insert probe loop
+	SiteCompactInsertClaim                // empty-cell claim CAS in CompactTable inserts
+	SiteCompactInsertMerge                // duplicate-merge CAS in CompactTable inserts
+	SiteCompactInsertDisplace             // displacement CAS in CompactTable inserts
+	SiteCompactDeleteProbe                // CompactTable delete probe/replacement loops
+	SiteCompactCtrlCAS                    // ctrl-word publication CAS in CompactTable.syncCtrl
 	numSites
 )
 

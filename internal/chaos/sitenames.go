@@ -22,6 +22,13 @@ const (
 	SiteNameEpochAdmit         = "epoch-admit"
 	SiteNameEpochFlush         = "epoch-flush"
 	SiteNameEpochCancel        = "epoch-cancel"
+
+	SiteNameCompactInsertProbe    = "compact-insert-probe"
+	SiteNameCompactInsertClaim    = "compact-insert-claim"
+	SiteNameCompactInsertMerge    = "compact-insert-merge"
+	SiteNameCompactInsertDisplace = "compact-insert-displace"
+	SiteNameCompactDeleteProbe    = "compact-delete-probe"
+	SiteNameCompactCtrlCAS        = "compact-ctrl-cas"
 )
 
 // siteNames maps Site values to their names, in declaration order.
@@ -42,4 +49,11 @@ var siteNames = [NumSites]string{
 	SiteEpochAdmit:         SiteNameEpochAdmit,
 	SiteEpochFlush:         SiteNameEpochFlush,
 	SiteEpochCancel:        SiteNameEpochCancel,
+
+	SiteCompactInsertProbe:    SiteNameCompactInsertProbe,
+	SiteCompactInsertClaim:    SiteNameCompactInsertClaim,
+	SiteCompactInsertMerge:    SiteNameCompactInsertMerge,
+	SiteCompactInsertDisplace: SiteNameCompactInsertDisplace,
+	SiteCompactDeleteProbe:    SiteNameCompactDeleteProbe,
+	SiteCompactCtrlCAS:        SiteNameCompactCtrlCAS,
 }

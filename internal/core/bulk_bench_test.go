@@ -48,6 +48,7 @@ func BenchmarkInsertPerElement(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	b.ReportMetric(float64(8*4*bulkBenchN)/float64(bulkBenchN), "bytes/elem")
 	benchObsReport(b, "insert")
 }
 
@@ -62,6 +63,7 @@ func BenchmarkInsertAll(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	b.ReportMetric(float64(8*4*bulkBenchN)/float64(bulkBenchN), "bytes/elem")
 	benchObsReport(b, "insert")
 }
 
@@ -81,6 +83,7 @@ func BenchmarkFindPerElement(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	b.ReportMetric(float64(8*4*bulkBenchN)/float64(bulkBenchN), "bytes/elem")
 	benchObsReport(b, "find")
 }
 
@@ -96,6 +99,7 @@ func BenchmarkFindAll(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	b.ReportMetric(float64(8*4*bulkBenchN)/float64(bulkBenchN), "bytes/elem")
 	benchObsReport(b, "find")
 }
 
@@ -117,6 +121,7 @@ func BenchmarkDeletePerElement(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	b.ReportMetric(float64(8*4*bulkBenchN)/float64(bulkBenchN), "bytes/elem")
 	benchObsReport(b, "delete")
 }
 
@@ -134,5 +139,6 @@ func BenchmarkDeleteAll(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	b.ReportMetric(float64(8*4*bulkBenchN)/float64(bulkBenchN), "bytes/elem")
 	benchObsReport(b, "delete")
 }

@@ -1,0 +1,113 @@
+// Black-box property tests for CompactTable. These live in an external
+// test package because they draw workloads from internal/sequence,
+// which itself imports core — an in-package test file would close an
+// import cycle.
+package core_test
+
+import (
+	"testing"
+
+	"phasehash/internal/core"
+	"phasehash/internal/hashx"
+	"phasehash/internal/parallel"
+	"phasehash/internal/sequence"
+)
+
+// compactWorkload is detres.OracleWorkload's distribution-to-words
+// mapping, duplicated here because core's tests cannot import detres
+// (detres imports core, and its test binary links this package).
+func compactWorkload(d sequence.Distribution, n int, seed uint64) []uint64 {
+	switch d {
+	case sequence.TrigramStr:
+		return sequence.TrigramKeys(n, seed)
+	case sequence.TrigramPairInt:
+		return sequence.TrigramKeyPairs(n, seed)
+	default:
+		return sequence.WordElements(d, n, seed)
+	}
+}
+
+// TestCompactPropertyGrid is the satellite property test: CompactTable
+// against the sequential reference (a map model AND a sequentially
+// built CompactTable at equal capacity, whose cells and ctrl words
+// must be byte-identical — history independence across schedules)
+// across all six EXPERIMENTS.md distributions × worker counts ×
+// target load factors {0.5, 0.7, 0.9}. Each grid cell inserts in
+// parallel, verifies contents/layout/invariant, deletes every third
+// input in parallel, and re-verifies against the same references.
+func TestCompactPropertyGrid(t *testing.T) {
+	const m = 1 << 12
+	loads := []float64{0.5, 0.7, 0.9}
+	workerCounts := []int{1, 2, 4}
+	dists := sequence.AllDistributions
+	if testing.Short() {
+		dists = []sequence.Distribution{sequence.RandomInt, sequence.ExptInt}
+	}
+	for _, d := range dists {
+		for _, lf := range loads {
+			n := int(lf * m)
+			elems := compactWorkload(d, n, 42)
+			for _, w := range workerCounts {
+				prev := parallel.SetNumWorkers(w)
+
+				tab := core.NewCompactTable[core.SetOps](m)
+				parallel.ForGrain(len(elems), 1, func(i int) { tab.Insert(elems[i]) })
+
+				model := map[uint64]bool{}
+				ref := core.NewCompactTable[core.SetOps](m)
+				for _, e := range elems {
+					model[e] = true
+					ref.Insert(e)
+				}
+
+				check := func(stage string) {
+					if err := tab.CheckInvariant(); err != nil {
+						t.Fatalf("%s/%.1f/w%d %s: %v", d, lf, w, stage, err)
+					}
+					if got := tab.Count(); got != len(model) {
+						t.Fatalf("%s/%.1f/w%d %s: Count %d, model %d", d, lf, w, stage, got, len(model))
+					}
+					refCells, gotCells := ref.Snapshot(), tab.Snapshot()
+					for i := range refCells {
+						if gotCells[i] != refCells[i] {
+							t.Fatalf("%s/%.1f/w%d %s: cell %d = %#x, sequential reference %#x",
+								d, lf, w, stage, i, gotCells[i], refCells[i])
+						}
+					}
+					refCtrl, gotCtrl := ref.CtrlSnapshot(), tab.CtrlSnapshot()
+					for i := range refCtrl {
+						if gotCtrl[i] != refCtrl[i] {
+							t.Fatalf("%s/%.1f/w%d %s: ctrl word %d = %#x, sequential reference %#x",
+								d, lf, w, stage, i, gotCtrl[i], refCtrl[i])
+						}
+					}
+					for k := range model {
+						if e, ok := tab.Find(k); !ok || e != k {
+							t.Fatalf("%s/%.1f/w%d %s: Find(%#x) = %#x, %v", d, lf, w, stage, k, e, ok)
+						}
+					}
+					for i := 0; i < 200; i++ {
+						k := hashx.At(0xab5ee^42, i) | 1
+						if !model[k] && tab.Contains(k) {
+							t.Fatalf("%s/%.1f/w%d %s: absent key %#x reported present", d, lf, w, stage, k)
+						}
+					}
+				}
+				check("after inserts")
+
+				var dels []uint64
+				for i := 0; i < len(elems); i += 3 {
+					dels = append(dels, elems[i])
+				}
+				parallel.ForGrain(len(dels), 1, func(i int) { tab.Delete(dels[i]) })
+				for _, k := range dels {
+					delete(model, k)
+					ref.Delete(k)
+				}
+				check("after deletes")
+
+				parallel.SetNumWorkers(prev)
+			}
+		}
+	}
+}

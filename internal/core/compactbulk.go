@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"phasehash/internal/hashx"
+	"phasehash/internal/parallel"
+)
+
+// Bulk phase kernels for CompactTable, following bulk.go's chunked
+// two-pass shape. The staging differs by operation to match what the
+// probe pass actually reads first:
+//
+//   - FindAll stages ctrl *words*, not home cells — the whole point of
+//     the compact layout is that a find touches cells only on a
+//     fingerprint match, so prefetching the cell would drag in exactly
+//     the line the ctrl array lets most probes skip. One ctrl word
+//     covers eight slots, so staged words usually cover the whole
+//     probe.
+//   - InsertAll and DeleteAll stage the home *cell* plus its ctrl word:
+//     their probe loops compare priorities at every slot, so the cell
+//     line is needed immediately, and the ctrl word is where syncCtrl
+//     will publish.
+
+// InsertAll inserts every element of elems (insert phase only) and
+// returns how many grew the element count; semantics exactly as
+// WordTable.InsertAll.
+func (t *CompactTable[O]) InsertAll(elems []uint64) int {
+	var added atomic.Int64
+	parallel.ForBlocked(len(elems), 0, func(lo, hi int) {
+		a, full := t.insertRange(elems, lo, hi)
+		if full >= 0 {
+			panic("core: CompactTable: " + t.fullErr().Error())
+		}
+		if a != 0 {
+			added.Add(int64(a))
+		}
+	})
+	return int(added.Load())
+}
+
+// TryInsertAll is InsertAll returning errors instead of panicking; see
+// WordTable.TryInsertAll for the saturation semantics.
+func (t *CompactTable[O]) TryInsertAll(elems []uint64) (int, error) {
+	var added atomic.Int64
+	var firstErr atomic.Pointer[error]
+	parallel.ForBlocked(len(elems), 0, func(lo, hi int) {
+		a := 0
+		for i := lo; i < hi; i++ {
+			ok, err := t.TryInsert(elems[i])
+			if err != nil {
+				firstErr.CompareAndSwap(nil, &err)
+				continue
+			}
+			if ok {
+				a++
+			}
+		}
+		if a != 0 {
+			added.Add(int64(a))
+		}
+	})
+	if e := firstErr.Load(); e != nil {
+		return int(added.Load()), *e
+	}
+	return int(added.Load()), nil
+}
+
+// insertRange is InsertAll's block kernel; see WordTable.insertRange.
+// full returns the index of a saturating element, or -1.
+func (t *CompactTable[O]) insertRange(elems []uint64, lo, hi int) (added, full int) {
+	var hs [stageChunk]uint64
+	for base := lo; base < hi; base += stageChunk {
+		end := base + stageChunk
+		if end > hi {
+			end = hi
+		}
+		for i := base; i < end; i++ {
+			v := elems[i]
+			if v == Empty {
+				panic("core: CompactTable: cannot insert the reserved empty element")
+			}
+			h := t.ops.Hash(v)
+			hs[i-base] = h
+			atomic.LoadUint64(&t.cells[int(h)&t.mask])
+			t.loadCtrlWord(int(h) & t.mask)
+		}
+		for i := base; i < end; i++ {
+			h := hs[i-base]
+			a, f := t.insertLoopFrom(elems[i], h, int(h)&t.mask)
+			if f {
+				return added, i
+			}
+			if a {
+				added++
+			}
+		}
+	}
+	return added, -1
+}
+
+// FindAll looks up every key of keys (find/elements phase only) and
+// returns how many are present; dst as in WordTable.FindAll. The stage
+// pass pre-computes the hash (home and fingerprint are cheap shifts off
+// it at probe time) and touches the home ctrl word — not the home cell
+// (see the file comment).
+func (t *CompactTable[O]) FindAll(keys []uint64, dst []uint64) int {
+	var found atomic.Int64
+	parallel.ForBlocked(len(keys), 0, func(lo, hi int) {
+		var hs [stageChunk]uint64
+		n := 0
+		for base := lo; base < hi; base += stageChunk {
+			end := base + stageChunk
+			if end > hi {
+				end = hi
+			}
+			for i := base; i < end; i++ {
+				h := t.ops.Hash(keys[i])
+				hs[i-base] = h
+				t.loadCtrlWord(int(h) & t.mask)
+			}
+			for i := base; i < end; i++ {
+				h := hs[i-base]
+				e, ok := t.findFrom(keys[i], h, int(h)&t.mask, hashx.Fingerprint(h))
+				if ok {
+					n++
+				}
+				if dst != nil {
+					dst[i] = e
+				}
+			}
+		}
+		if n != 0 {
+			found.Add(int64(n))
+		}
+	})
+	return int(found.Load())
+}
+
+// ContainsAll reports how many of the keys are present (find/elements
+// phase only).
+func (t *CompactTable[O]) ContainsAll(keys []uint64) int {
+	return t.FindAll(keys, nil)
+}
+
+// DeleteAll deletes every key of keys (delete phase only) and returns
+// how many were removed by this call's deletes; semantics as
+// WordTable.DeleteAll.
+func (t *CompactTable[O]) DeleteAll(keys []uint64) int {
+	var deleted atomic.Int64
+	parallel.ForBlocked(len(keys), 0, func(lo, hi int) {
+		var hs [stageChunk]uint64
+		n := 0
+		for base := lo; base < hi; base += stageChunk {
+			end := base + stageChunk
+			if end > hi {
+				end = hi
+			}
+			for i := base; i < end; i++ {
+				h := t.ops.Hash(keys[i])
+				hs[i-base] = h
+				atomic.LoadUint64(&t.cells[int(h)&t.mask])
+				t.loadCtrlWord(int(h) & t.mask)
+			}
+			for i := base; i < end; i++ {
+				h := hs[i-base]
+				if t.deleteFrom(keys[i], h, int(h)&t.mask) {
+					n++
+				}
+			}
+		}
+		if n != 0 {
+			deleted.Add(int64(n))
+		}
+	})
+	return int(deleted.Load())
+}

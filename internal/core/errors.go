@@ -29,3 +29,14 @@ var (
 func reservedErr() error {
 	return fmt.Errorf("%w: %#x is the reserved empty element", ErrReservedKey, Empty)
 }
+
+// fullTableErr builds the ErrFull report shared by WordTable, PtrTable
+// and CompactTable, so the three messages cannot drift apart. cells is
+// the backing-array length (a power of two) and also the element
+// capacity: a table of m cells stores up to m elements, and the insert
+// of a further absent key detects saturation by sweeping the whole
+// array. count is the caller's (racy, mid-phase) element snapshot.
+func fullTableErr(cells, count int) error {
+	return fmt.Errorf("%w: size %d, count %d, load factor %.3f",
+		ErrFull, cells, count, float64(count)/float64(cells))
+}

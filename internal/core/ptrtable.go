@@ -35,8 +35,10 @@ type PtrTable[T any, O PtrOps[T]] struct {
 	mask  int
 }
 
-// NewPtrTable returns a pointer table with at least size cells, rounded
-// up to a power of two.
+// NewPtrTable returns a pointer table whose backing array is the next
+// power of two m >= size; capacity semantics are NewWordTable's — up
+// to m records, with a further insert into a completely full table
+// failing with ErrFull (Insert panics, TryInsert returns it).
 func NewPtrTable[T any, O PtrOps[T]](size int) *PtrTable[T, O] {
 	if size < 1 {
 		size = 1
@@ -198,9 +200,7 @@ func (t *PtrTable[T, O]) fullErr() error {
 			n++
 		}
 	}
-	m := len(t.cells)
-	return fmt.Errorf("%w: size %d, count %d, load factor %.3f",
-		ErrFull, m, n, float64(n)/float64(m))
+	return fullTableErr(len(t.cells), n)
 }
 
 // Find returns the stored element with v's key (find/elements phase

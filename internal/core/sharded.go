@@ -115,6 +115,9 @@ func (t *ShardedTable[O]) Size() int { return len(t.shards) * t.shards[0].Size()
 // ShardSize returns the per-shard capacity in cells.
 func (t *ShardedTable[O]) ShardSize() int { return t.shards[0].Size() }
 
+// Bytes returns the backing-array footprint summed over shards.
+func (t *ShardedTable[O]) Bytes() int { return len(t.shards) * t.shards[0].Bytes() }
+
 // --- per-element phase-concurrent operations (atomic path) ---
 
 // Insert adds element v via the owning shard's atomic probe loop

@@ -41,6 +41,7 @@ func BenchmarkShardedInsertAll(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	b.ReportMetric(float64(8*4*bulkBenchN)/float64(bulkBenchN), "bytes/elem")
 	benchObsReport(b, "insert")
 }
 
@@ -56,6 +57,7 @@ func BenchmarkShardedFindAll(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	b.ReportMetric(float64(8*4*bulkBenchN)/float64(bulkBenchN), "bytes/elem")
 	benchObsReport(b, "find")
 }
 
@@ -73,6 +75,7 @@ func BenchmarkShardedDeleteAll(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	b.ReportMetric(float64(8*4*bulkBenchN)/float64(bulkBenchN), "bytes/elem")
 	benchObsReport(b, "delete")
 }
 
@@ -87,6 +90,7 @@ func BenchmarkInsertAllDup(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	b.ReportMetric(float64(8*4*bulkBenchN)/float64(bulkBenchN), "bytes/elem")
 	benchObsReport(b, "insert")
 }
 
@@ -101,6 +105,7 @@ func BenchmarkShardedInsertAllDup(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	b.ReportMetric(float64(8*4*bulkBenchN)/float64(bulkBenchN), "bytes/elem")
 	benchObsReport(b, "insert")
 }
 
@@ -118,6 +123,7 @@ func BenchmarkDeleteAllDup(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	b.ReportMetric(float64(8*4*bulkBenchN)/float64(bulkBenchN), "bytes/elem")
 	benchObsReport(b, "delete")
 }
 
@@ -135,5 +141,6 @@ func BenchmarkShardedDeleteAllDup(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(bulkBenchN), "elems/op")
+	b.ReportMetric(float64(8*4*bulkBenchN)/float64(bulkBenchN), "bytes/elem")
 	benchObsReport(b, "delete")
 }

@@ -24,10 +24,15 @@ type WordTable[O Ops] struct {
 	mask  int // len(cells)-1; len is a power of two
 }
 
-// NewWordTable returns a table with capacity for at least size elements;
-// the backing array is the next power of two >= size. The paper's
-// algorithms require the table never to become completely full; inserting
-// more than len(cells)-1 elements panics.
+// NewWordTable returns a table whose backing array is the next power of
+// two m >= size. A table of m cells stores up to m distinct keys;
+// inserting a further absent key into a completely full table fails
+// with ErrFull (Insert panics, TryInsert returns it), detected by the
+// probe sweeping the whole array. The paper assumes the table never
+// becomes completely full: a full table still answers correctly, but
+// absent-key probes degrade to O(m) sweeps, so size with headroom (the
+// paper's experiments run at load factors <= ~0.9). PtrTable and
+// CompactTable share these capacity semantics and the ErrFull message.
 func NewWordTable[O Ops](size int) *WordTable[O] {
 	if size < 1 {
 		size = 1
@@ -41,6 +46,9 @@ func NewWordTable[O Ops](size int) *WordTable[O] {
 
 // Size returns the capacity (number of cells) of the table.
 func (t *WordTable[O]) Size() int { return len(t.cells) }
+
+// Bytes returns the backing-array footprint: 8 bytes per cell.
+func (t *WordTable[O]) Bytes() int { return len(t.cells) * 8 }
 
 // load atomically reads the cell at unnormalized position p.
 func (t *WordTable[O]) load(p int) uint64 {
@@ -206,10 +214,7 @@ func (t *WordTable[O]) insertLoopFrom(v uint64, i int) (added, full bool) {
 // an atomic snapshot (the insert phase is still running), so it is
 // approximate but actionable in a field report.
 func (t *WordTable[O]) fullErr() error {
-	n := t.CountAtomic()
-	m := len(t.cells)
-	return fmt.Errorf("%w: size %d, count %d, load factor %.3f",
-		ErrFull, m, n, float64(n)/float64(m))
+	return fullTableErr(len(t.cells), t.CountAtomic())
 }
 
 // InsertLimited is Insert with an overfull detector for the resizing

@@ -1,0 +1,106 @@
+package hashx
+
+import "testing"
+
+// TestFingerprintNonZero pins the empty-slot reservation: no hash may
+// produce the zero byte (0x00 is the compact table's empty marker) or
+// the tombstone byte 0x01. With bit 7 set by construction both are
+// unreachable; this keeps that true under refactors.
+func TestFingerprintNonZero(t *testing.T) {
+	edges := []uint64{
+		0,
+		^uint64(0),
+		^uint64(0) >> 7, // top seven bits zero, everything else set
+		1 << (FingerprintShift - 1),
+	}
+	for _, h := range edges {
+		if fp := Fingerprint(h); fp == 0 || fp == 0x01 {
+			t.Fatalf("Fingerprint(%#x) = %#x; 0x00/0x01 are reserved ctrl states", h, fp)
+		}
+	}
+	for i := 0; i < 1<<16; i++ {
+		h := At(12345, i)
+		if fp := Fingerprint(h); fp == 0 || fp == 0x01 {
+			t.Fatalf("Fingerprint(%#x) = %#x; 0x00/0x01 are reserved ctrl states", h, fp)
+		}
+	}
+}
+
+// TestFingerprintRange pins the encoding: bit 7 is always set (it is
+// the full-slot discriminant; empty 0x00 and tombstone 0x01 keep it
+// clear), so every value lies in [0x80, 0xFF].
+func TestFingerprintRange(t *testing.T) {
+	for i := 0; i < 1<<16; i++ {
+		fp := Fingerprint(At(999, i))
+		if fp < 0x80 {
+			t.Fatalf("Fingerprint = %#x outside [0x80, 0xFF]", fp)
+		}
+	}
+}
+
+// TestFingerprintDisjointFromHomeAndShardBits proves the independence
+// claim behind the compact table's determinism argument: the
+// fingerprint reads only bits [57, 64) of the hash, so flipping any
+// lower bit — home-bucket bits (low log2(m)) or the sharded compact
+// table's radix bits [40, 48) — never changes it.
+func TestFingerprintDisjointFromHomeAndShardBits(t *testing.T) {
+	for i := 0; i < 4096; i++ {
+		h := At(77, i)
+		want := Fingerprint(h)
+		for b := 0; b < FingerprintShift; b++ {
+			if got := Fingerprint(h ^ (1 << b)); got != want {
+				t.Fatalf("flipping low bit %d changed Fingerprint(%#x): %#x -> %#x", b, h, want, got)
+			}
+		}
+	}
+}
+
+// TestFingerprintUsesWholeField is the positive control for the
+// disjointness test: every bit inside the field influences the result
+// somewhere, and all 128 encodings are reachable.
+func TestFingerprintUsesWholeField(t *testing.T) {
+	for b := FingerprintShift; b < 64; b++ {
+		changed := false
+		for i := 0; i < 256 && !changed; i++ {
+			h := At(5, i)
+			changed = Fingerprint(h) != Fingerprint(h^(1<<uint(b)))
+		}
+		if !changed {
+			t.Fatalf("field bit %d never influences the fingerprint", b)
+		}
+	}
+	var seen [256]bool
+	for i := 0; i < 1<<16; i++ {
+		seen[Fingerprint(At(31, i))] = true
+	}
+	for v := 0x80; v <= 0xFF; v++ {
+		if !seen[v] {
+			t.Fatalf("encoding %#x unreachable in 2^16 draws", v)
+		}
+	}
+}
+
+// TestFingerprintOrderMatchesHashOrder pins the property the compact
+// table's word-at-a-time priority pruning relies on: unsigned byte
+// order on fingerprints agrees with numeric order on the hashes' top
+// seven bits, so ctrl < pattern proves hash < probe hash.
+func TestFingerprintOrderMatchesHashOrder(t *testing.T) {
+	for i := 0; i < 1<<14; i++ {
+		ha, hb := At(42, 2*i), At(42, 2*i+1)
+		fa, fb := Fingerprint(ha), Fingerprint(hb)
+		switch {
+		case ha>>FingerprintShift < hb>>FingerprintShift:
+			if fa >= fb {
+				t.Fatalf("top7(%#x) < top7(%#x) but fp %#x >= %#x", ha, hb, fa, fb)
+			}
+		case ha>>FingerprintShift > hb>>FingerprintShift:
+			if fa <= fb {
+				t.Fatalf("top7(%#x) > top7(%#x) but fp %#x <= %#x", ha, hb, fa, fb)
+			}
+		default:
+			if fa != fb {
+				t.Fatalf("equal top bits but fp %#x != %#x", fa, fb)
+			}
+		}
+	}
+}

@@ -40,6 +40,45 @@ func HashString(s string) uint64 {
 	return Mix64(h)
 }
 
+// FingerprintShift is the bit offset of the 7-bit fingerprint field
+// inside a 64-bit hash: Fingerprint reads bits [57, 64) — the hash's
+// top seven bits — and nothing else. The placement is load-bearing
+// twice over:
+//
+//   - the compact table keys its displacement priority on the *full
+//     hash* (numeric order, highest first along each probe path), so
+//     the top seven bits are the most significant digits of the
+//     priority key. Storing exactly those bits in the control byte
+//     makes an unsigned byte comparison of two full-slot ctrl bytes a
+//     coarse comparison of the slots' priorities: ctrl < pattern
+//     proves the slot's hash is strictly below the probe's, which
+//     under the descending-priority probe invariant ends a miss — in
+//     the control word, before any cell load;
+//   - the home bucket reduces the hash modulo the table size and
+//     therefore reads the *low* log2(m) bits — disjoint from the
+//     fingerprint for every table below 2^57 cells, so the fingerprint
+//     carries no information about where the element lands.
+//
+// core.ShardedCompactTable's shard radix reads bits [40, 48) (see
+// shardedcompact.go), keeping all three hash consumers — home bucket,
+// shard radix, fingerprint — on disjoint bit ranges. Because the
+// fingerprint is a pure function of the hash, the quiescent ctrl byte
+// of a slot is determined by the cell it shadows, which is what keeps
+// the control array history-independent for free.
+const FingerprintShift = 57
+
+// Fingerprint returns the control-array byte for a full slot holding an
+// element with hash h: bit 7 set (the full/empty discriminant; empty is
+// 0x00 and the transient tombstone 0x01, both with bit 7 clear) and the
+// hash's top seven bits in bits 0-6. The result is always in
+// [0x80, 0xFF] — nonzero by construction, no remapping — and byte order
+// on full-slot fingerprints agrees with numeric order on the hashes'
+// top seven bits, which is what the compact table's word-at-a-time
+// priority pruning relies on.
+func Fingerprint(h uint64) byte {
+	return byte(h>>FingerprintShift) | 0x80
+}
+
 // RNG is a splitmix64 pseudo-random generator: tiny state, deterministic
 // streams, and cheap jump-ahead (each index can be hashed independently),
 // which lets parallel loops draw the i-th random number without

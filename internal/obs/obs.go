@@ -112,6 +112,11 @@ const (
 	CtrEpochSplits       // oversized pending batches split into extra epochs
 	CtrEpochInsertFull   // insert futures resolved with ErrFull
 
+	// Compact fingerprint-probed finds (CompactTable findFrom /
+	// findSerial; op counts flow into the shared find counters above).
+	CtrFindCtrlWords // ctrl words loaded across all compact finds
+	CtrFindFPFalse   // fingerprint matches whose cell held a different key
+
 	NumCounters = int(iota)
 )
 
@@ -150,6 +155,8 @@ var counterNames = [NumCounters]string{
 	CtrEpochFlushOps:       chaos.SiteNameEpochFlush + "-ops",
 	CtrEpochSplits:         chaos.SiteNameEpochFlush + "-splits",
 	CtrEpochInsertFull:     chaos.SiteNameEpochFlush + "-insert-full",
+	CtrFindCtrlWords:       "find-ctrl-words",
+	CtrFindFPFalse:         "find-fp-false-positives",
 }
 
 // String returns the counter's stable name.
@@ -369,6 +376,29 @@ func (s *Snapshot) ReplacementDepth() float64 {
 	return float64(s.Counters[CtrDeleteReplacements]) / float64(ops)
 }
 
+// CtrlWordsPerFind returns the mean ctrl words loaded per find
+// operation on the compact table's SWAR probe path. Meaningful only
+// when the measured section ran compact finds exclusively (find ops
+// from other table kinds share the denominator).
+func (s *Snapshot) CtrlWordsPerFind() float64 {
+	ops := s.Counters[CtrFindOps]
+	if ops == 0 {
+		return 0
+	}
+	return float64(s.Counters[CtrFindCtrlWords]) / float64(ops)
+}
+
+// FPFalsePositiveRate returns fingerprint false positives per find
+// operation: candidates whose 7-bit fingerprint matched but whose cell
+// held a different key, costing one wasted cell load each.
+func (s *Snapshot) FPFalsePositiveRate() float64 {
+	ops := s.Counters[CtrFindOps]
+	if ops == 0 {
+		return 0
+	}
+	return float64(s.Counters[CtrFindFPFalse]) / float64(ops)
+}
+
 // MarshalJSON encodes the snapshot with named counters (stable keys,
 // stable order via encoding/json's sorted map keys).
 func (s Snapshot) MarshalJSON() ([]byte, error) {
@@ -425,6 +455,10 @@ func (s *Snapshot) String() string {
 		s.Counters[CtrFindOps], s.MeanProbe("find"), s.FindProbes.Quantile(0.99), s.Counters[CtrFindHits])
 	fmt.Fprintf(&b, "; delete ops=%d repl-depth=%.3f/op",
 		s.Counters[CtrDeleteOps], s.ReplacementDepth())
+	if w := s.Counters[CtrFindCtrlWords]; w > 0 {
+		fmt.Fprintf(&b, "; compact ctrl-words=%.2f/find fp-false=%.4f/find",
+			s.CtrlWordsPerFind(), s.FPFalsePositiveRate())
+	}
 	if g := s.Counters[CtrGrowEvents]; g > 0 {
 		fmt.Fprintf(&b, "; grow events=%d moved=%d", g, s.Counters[CtrGrowCellsMoved])
 	}

@@ -15,6 +15,9 @@ func RecordInsert(stripe int, steps, casAttempts, casFailures, displacements uin
 // RecordFind is a no-op without the obs tag.
 func RecordFind(stripe int, steps uint64, hit bool) {}
 
+// RecordCompactFind is a no-op without the obs tag.
+func RecordCompactFind(stripe int, steps, ctrlWords, falsePos uint64, hit bool) {}
+
 // RecordDelete is a no-op without the obs tag.
 func RecordDelete(stripe int, steps, replacements, casFailures uint64) {}
 

@@ -96,6 +96,23 @@ func RecordFind(stripe int, steps uint64, hit bool) {
 	s.findH[BucketOf(int(steps))].Add(1)
 }
 
+// RecordCompactFind publishes one completed compact-table find: probe
+// steps (slot distance to the verdict lane), ctrl words loaded by the
+// SWAR scanner and fingerprint false positives (candidates whose cell
+// held a different key). Op/step/hit tallies flow into the shared find
+// counters so compact and flat runs stay comparable.
+func RecordCompactFind(stripe int, steps, ctrlWords, falsePos uint64, hit bool) {
+	s := &sinks[stripe&stripeMask]
+	s.counters[CtrFindOps].Add(1)
+	s.counters[CtrFindProbeSteps].Add(steps)
+	if hit {
+		s.counters[CtrFindHits].Add(1)
+	}
+	s.counters[CtrFindCtrlWords].Add(ctrlWords)
+	s.counters[CtrFindFPFalse].Add(falsePos)
+	s.findH[BucketOf(int(steps))].Add(1)
+}
+
 // RecordDelete publishes one completed delete operation: victim-scan
 // steps, replacement CASes won (the recursive hole-fill depth) and
 // replacement CASes lost to concurrent deletes.

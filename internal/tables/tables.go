@@ -59,11 +59,12 @@ func Contains(t Table, e uint64) bool {
 
 // Bulk is the optional bulk-kernel extension of Table: whole-phase
 // operations over element slices (internal/core/bulk.go). Only
-// linearHash-D and linearHash-D-sharded implement it — the bulk kernels
-// exist to make the deterministic table fast, not to accelerate the
-// comparison baselines, which keep the per-element loop the paper
-// describes for them. Note the sharded table's kernels require
-// exclusive table access for the whole call (core.ShardedTable).
+// linearHash-D, linearHash-D-sharded and linearHash-D-compact implement
+// it — the bulk kernels exist to make the deterministic table fast, not
+// to accelerate the comparison baselines, which keep the per-element
+// loop the paper describes for them. Note the sharded table's kernels
+// require exclusive table access for the whole call
+// (core.ShardedTable).
 type Bulk interface {
 	// InsertAll inserts every element (insert phase), returning how many
 	// grew the count.
@@ -83,6 +84,22 @@ func AsBulk(t Table) (Bulk, bool) {
 	return b, ok
 }
 
+// Memory is the optional memory-accounting extension of Table: the
+// bytes of backing-array memory the table holds. Implemented by the
+// kinds whose footprint is a static function of their construction
+// parameters (the linear-probing family); chained tables, whose
+// footprint tracks the live set, do not implement it.
+type Memory interface {
+	// Bytes returns the backing-array footprint in bytes.
+	Bytes() int
+}
+
+// AsMemory returns t's memory-accounting extension when it has one.
+func AsMemory(t Table) (Memory, bool) {
+	m, ok := t.(Memory)
+	return m, ok
+}
+
 // Kind names a table implementation, using the paper's names.
 type Kind string
 
@@ -96,6 +113,14 @@ const (
 	// uses the automatic policy, which derives the count from the
 	// worker count at construction time.
 	LinearDSharded Kind = "linearHash-D-sharded"
+	// LinearDCompact is linearHash-D with a separate byte-per-slot
+	// control array (fingerprint + occupancy) scanned a word at a time
+	// (core.CompactTable). Same deterministic cell layout as LinearD —
+	// the cells are byte-identical at equal capacity — plus a
+	// deterministic ctrl array; 9 bytes/slot of table memory instead of
+	// 8, in exchange for finds that rarely touch the cell array, which
+	// keeps throughput at load factors up to 0.9.
+	LinearDCompact Kind = "linearHash-D-compact"
 	LinearND       Kind = "linearHash-ND"
 	Cuckoo         Kind = "cuckooHash"
 	Chained        Kind = "chainedHash"
@@ -109,14 +134,15 @@ const (
 // Kinds lists all table kinds in the paper's presentation order.
 var Kinds = []Kind{
 	SerialHI, SerialHD,
-	LinearD, LinearDSharded, LinearND, Cuckoo,
+	LinearD, LinearDSharded, LinearDCompact, LinearND, Cuckoo,
 	Chained, ChainedCR,
 	Hopscotch, HopscotchPC,
 }
 
 // ParallelKinds lists the concurrent/phase-concurrent kinds.
 var ParallelKinds = []Kind{
-	LinearD, LinearDSharded, LinearND, Cuckoo, Chained, ChainedCR,
+	LinearD, LinearDSharded, LinearDCompact, LinearND, Cuckoo,
+	Chained, ChainedCR,
 	Hopscotch, HopscotchPC,
 }
 
@@ -128,6 +154,8 @@ func New[O core.Ops](kind Kind, size int) (Table, error) {
 		return core.NewWordTable[O](size), nil
 	case LinearDSharded:
 		return core.NewShardedTable[O](size, 0), nil
+	case LinearDCompact:
+		return core.NewCompactTable[O](size), nil
 	case LinearND:
 		return NewLinearND[O](size), nil
 	case Cuckoo:
@@ -178,5 +206,5 @@ func (k Kind) IsSerial() bool { return k == SerialHI || k == SerialHD }
 // shard count: tables constructed with different shard counts store
 // the same set in different (each deterministic) orders.
 func (k Kind) IsDeterministic() bool {
-	return k == LinearD || k == LinearDSharded || k == SerialHI
+	return k == LinearD || k == LinearDSharded || k == LinearDCompact || k == SerialHI
 }
