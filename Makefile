@@ -3,7 +3,7 @@
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: all build test race lint phasevet fmt fuzz chaos soak soak-server install-phasevet benchbase benchdiff obs obs-sizecheck obs-overhead obs-soak
+.PHONY: all build test race lint phasevet fmt fuzz chaos soak soak-server install-phasevet benchbase benchdiff obs obs-sizecheck obs-overhead obs-soak tune tune-sizecheck tune-overhead tune-benchdiff tune-soak
 
 all: build test lint
 
@@ -75,7 +75,7 @@ soak-server:
 # commit the file when the numbers move for a reason.
 BENCHCPUS := $(shell n=$$(nproc); if [ "$$n" -lt 4 ]; then echo 4; else echo $$n; fi)
 BENCHCMD  := go test -run xxx -bench 'PerElement|InsertAll|FindAll|DeleteAll|EpochServer' \
-		-benchmem -count=5 -cpu 1,$(BENCHCPUS) ./internal/core ./internal/epoch
+		-benchmem -count=5 -cpu 1,$(BENCHCPUS) ./internal/core ./internal/epoch ./internal/tables
 
 benchbase:
 	$(BENCHCMD) | go run ./cmd/benchjson > BENCH_core.json
@@ -108,16 +108,75 @@ obs-sizecheck:
 		echo "obs-sizecheck: -tags obs phbench has no obs.Record* symbols (positive control failed)"; exit 1; fi
 	@echo "obs-sizecheck: ok (no Record* symbols without the tag, present with it)"
 
-# obs-overhead = the no-op overhead gate: the untagged build of the
-# 2^20-key uniform insert benchmark must stay within 1% of the
-# committed BENCH_core.json baseline even though the hot loops now
-# carry (const-folded) telemetry hooks. Run on quiet hardware; CI
-# blocks on it.
-OBSBENCHCMD := go test -run xxx -bench 'InsertAll$$' -benchmem -count=5 -cpu 1 ./internal/core
+# obs-overhead = the hot-loop overhead gate, now pointed at the
+# always-on counter core (the obs-tag hooks const-fold away untagged;
+# the core's striped counters do not, so the core is what the 1% bound
+# must hold for). Kept as an alias so existing docs and muscle memory
+# keep working.
+obs-overhead: tune-overhead
 
-obs-overhead:
-	$(OBSBENCHCMD) | go run ./cmd/benchjson > /tmp/BENCH_obs_off.json
-	go run ./cmd/benchjson -diff -fail -threshold 1 BENCH_core.json /tmp/BENCH_obs_off.json
+# tune = the self-tuning gate CI blocks on: the policy/controller
+# tests, the adaptive wiring (auto shard policy, AutoTable, epoch
+# flush-path selection), and the detres tuning oracle — quiescent state
+# AND decision traces byte-compared across the seed x worker x chaos
+# grid — plus the zero-cost-off proofs below.
+tune: tune-sizecheck
+	go test ./internal/tune/ ./internal/tables/
+	go test -run 'Tune|AutoShard' ./internal/core ./internal/epoch ./internal/detres
+	go test -tags chaos -run Tune ./internal/detres
+
+# tune-sizecheck = prove the always-on counter core is really the only
+# always-on piece, and that -tags nostats removes even that: the
+# striped sink array (obs.coreSinks) must be absent from a nostats
+# build of phbench and present in the default build (the positive
+# control, so the check cannot pass vacuously). Function symbols are
+# useless here — the core hooks inline — so the check keys on the
+# data symbol.
+tune-sizecheck:
+	@go build -tags nostats -o /tmp/phbench-nostats ./cmd/phbench
+	@if go tool nm /tmp/phbench-nostats | grep 'internal/obs\.coreSinks' >/dev/null; then \
+		echo "tune-sizecheck: -tags nostats phbench still contains the counter core (obs.coreSinks)"; exit 1; fi
+	@go build -o /tmp/phbench-core ./cmd/phbench
+	@if ! go tool nm /tmp/phbench-core | grep 'internal/obs\.coreSinks' >/dev/null; then \
+		echo "tune-sizecheck: default phbench has no obs.coreSinks symbol (positive control failed)"; exit 1; fi
+	@echo "tune-sizecheck: ok (counter core absent under -tags nostats, present by default)"
+
+# tune-overhead = the 1% bound on the always-on counter core: the same
+# 2^20-key uniform insert benchmark, built twice from the same tree —
+# once with -tags nostats (hooks compiled out: the A baseline) and once
+# untagged (striped core live: the B run) — and diffed. Self-contained
+# on purpose: an A/B inside one run cannot rot the way a committed
+# baseline from other hardware can. The gate is -geomean: individual
+# rows swing several percent both ways with scheduler noise even on
+# quiet hardware, but those swings cancel in the geomean, so only a
+# cost paid systematically by every row trips the 1% bound. CI blocks
+# on it.
+COREBENCH := -run xxx -bench 'InsertAll$$' -benchmem -count=5 -cpu 1 ./internal/core
+
+tune-overhead:
+	go test -tags nostats $(COREBENCH) | go run ./cmd/benchjson > /tmp/BENCH_core_nostats.json
+	go test $(COREBENCH) | go run ./cmd/benchjson > /tmp/BENCH_core_live.json
+	go run ./cmd/benchjson -diff -fail -geomean -threshold 1 /tmp/BENCH_core_nostats.json /tmp/BENCH_core_live.json
+
+# tune-benchdiff = the tuned-vs-static comparison (non-blocking in CI,
+# uploaded as an artifact): the six-distribution AutoKindFindAll grid —
+# static flat, static compact, and the self-tuning auto kind per cell —
+# diffed against the committed baseline's rows. The per-suite geomean
+# line summarizes how far auto sits from the per-cell winner.
+tune-benchdiff:
+	go test -run xxx -bench AutoKindFindAll -benchmem -count=5 -cpu $(BENCHCPUS) \
+		./internal/tables | go run ./cmd/benchjson > /tmp/BENCH_tune.new.json
+	go run ./cmd/benchjson -diff BENCH_core.json /tmp/BENCH_tune.new.json
+
+# tune-soak = the soak-server pair with the adaptive flush-path tuner
+# live: same comfortable-load and overload shapes, plus the tuner's
+# decision trace and the always-on imbalance gauge in the summary. The
+# soak proves adaptation doesn't break graceful degradation (decisions
+# only move at epoch boundaries, so shed/drain behaviour is unchanged).
+tune-soak:
+	go run ./cmd/phload -server -tune -soak 30s -deadline 5ms -clients 4
+	go run ./cmd/phload -server -tune -soak 30s -deadline 25ms -clients 4 \
+		-maxbatch 64 -queue 128 -flushdelay 2ms
 
 # obs-soak = a chaos soak with live telemetry: watch
 # http://localhost:6060/debug/phasestats while it runs, or pull a

@@ -11,15 +11,18 @@
 //
 // With -diff it instead compares two such documents and annotates mean
 // ns/op regressions beyond a threshold (default 10%) in the GitHub
-// Actions `::warning` format. The diff is informational by default —
+// Actions `::warning` format, then summarizes each suite (benchmark
+// name up to the first '/') with a geomean speedup row. The diff is informational by default —
 // the exit status is 0 regardless — so CI can surface drift without
 // turning benchmark noise into a blocking failure; add -fail to exit 1
-// on any regression beyond the threshold (used by the no-op-overhead
-// observability gate, where the threshold is a contract, not noise):
+// on any regression beyond the threshold, or -fail -geomean to exit 1
+// only when the *overall geomean* regresses beyond it (used by the
+// always-on-core overhead gate, where the threshold is a contract but
+// single rows swing both ways with scheduler noise):
 //
 //	benchjson -diff BENCH_core.json new.json
 //	benchjson -diff -threshold 25 BENCH_core.json new.json
-//	benchjson -diff -fail -threshold 1 BENCH_core.json off_build.json
+//	benchjson -diff -fail -geomean -threshold 1 nostats.json live.json
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -107,14 +111,23 @@ func main() {
 	diffMode := flag.Bool("diff", false, "compare two benchjson documents (old new) instead of converting stdin")
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -diff annotations")
 	failOnRegress := flag.Bool("fail", false, "with -diff: exit 1 when any row regresses beyond the threshold (default is informational, always exit 0)")
+	failGeomean := flag.Bool("geomean", false, "with -diff -fail: gate on the overall geomean instead of single rows — per-row deltas that swing both ways cancel, only a systematic regression fails")
 	flag.Parse()
 	if *diffMode {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two arguments: old.json new.json")
 			os.Exit(2)
 		}
-		if regressions := diff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold); regressions > 0 && *failOnRegress {
-			os.Exit(1)
+		regressions, geomeanPct := diff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if *failOnRegress {
+			if *failGeomean {
+				if geomeanPct > *threshold {
+					fmt.Printf("::warning title=geomean regression (%+.1f%%)::overall geomean exceeds the %.0f%% threshold\n", geomeanPct, *threshold)
+					os.Exit(1)
+				}
+			} else if regressions > 0 {
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -269,10 +282,19 @@ func parse(in io.Reader) (Doc, error) {
 // annotation when the new mean ns/op regressed beyond threshold
 // percent, a plain delta line otherwise. Rows present in only one
 // document are listed but never warned about (new benchmarks appear,
-// retired ones disappear; neither is a regression). Returns the number
-// of rows that regressed beyond the threshold; the caller decides
-// whether that fails the run (-fail) or stays informational.
-func diff(w io.Writer, oldPath, newPath string, threshold float64) int {
+// retired ones disappear; neither is a regression). After the rows it
+// prints one geomean summary line per suite (the benchmark name up to
+// its first '/', so every dist/kind/cpu variant folds into one ratio)
+// plus an overall geomean — the per-row lines say which cell moved,
+// the geomean rows say whether the change is systematic or noise.
+// Returns the number of rows that regressed beyond the threshold and
+// the overall geomean delta in percent; the caller decides whether
+// either fails the run (-fail, -fail -geomean) or stays
+// informational. The geomean gate exists for overhead contracts
+// measured on noisy boxes: individual rows swing several percent in
+// both directions run to run, but those swings cancel in the
+// geomean, so only a cost paid by every row trips it.
+func diff(w io.Writer, oldPath, newPath string, threshold float64) (int, float64) {
 	oldDoc, err := readDoc(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -288,6 +310,8 @@ func diff(w io.Writer, oldPath, newPath string, threshold float64) int {
 		oldRows[r.Name] = r
 	}
 	regressions := 0
+	ratios := map[string][]float64{}
+	var suites []string
 	for _, nr := range newDoc.Results {
 		or, ok := oldRows[nr.Name]
 		delete(oldRows, nr.Name)
@@ -301,6 +325,13 @@ func diff(w io.Writer, oldPath, newPath string, threshold float64) int {
 			// meaningful delta. Note it rather than dividing by it.
 			fmt.Fprintf(w, "skipped row %s: baseline mean is %.0f ns/op\n", nr.Name, or.NsPerOp.Mean)
 			continue
+		}
+		suite := suiteOf(nr.Name)
+		if _, seen := ratios[suite]; !seen {
+			suites = append(suites, suite)
+		}
+		if nr.NsPerOp.Mean > 0 {
+			ratios[suite] = append(ratios[suite], nr.NsPerOp.Mean/or.NsPerOp.Mean)
 		}
 		pct := (nr.NsPerOp.Mean - or.NsPerOp.Mean) / or.NsPerOp.Mean * 100
 		if pct > threshold {
@@ -323,10 +354,50 @@ func diff(w io.Writer, oldPath, newPath string, threshold float64) int {
 	for _, name := range gone {
 		fmt.Fprintf(w, "removed row %s (was %.0f ns/op)\n", name, oldRows[name].NsPerOp.Mean)
 	}
+	sort.Strings(suites)
+	var all []float64
+	for _, suite := range suites {
+		rs := ratios[suite]
+		if len(rs) == 0 {
+			continue
+		}
+		all = append(all, rs...)
+		g := geomean(rs)
+		fmt.Fprintf(w, "geomean %s: %.3fx (%+.1f%%) over %d row(s)\n", suite, g, (g-1)*100, len(rs))
+	}
+	if len(all) > 0 {
+		g := geomean(all)
+		fmt.Fprintf(w, "geomean all: %.3fx (%+.1f%%) over %d row(s)\n", g, (g-1)*100, len(all))
+	}
 	if regressions > 0 {
 		fmt.Fprintf(w, "%d row(s) regressed beyond %.0f%%\n", regressions, threshold)
 	}
-	return regressions
+	geomeanPct := 0.0
+	if len(all) > 0 {
+		geomeanPct = (geomean(all) - 1) * 100
+	}
+	return regressions, geomeanPct
+}
+
+// suiteOf returns the suite a row aggregates under in the geomean
+// summary: the benchmark name up to the first '/'. Flat names (no
+// sub-benchmark path) form single-row suites of their own.
+func suiteOf(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// geomean returns the geometric mean of the ratios (exp of the mean
+// log), the right average for new/old speedup factors: a 2x regression
+// and a 2x improvement cancel to 1.0 instead of averaging to 1.25.
+func geomean(rs []float64) float64 {
+	sum := 0.0
+	for _, r := range rs {
+		sum += math.Log(r)
+	}
+	return math.Exp(sum / float64(len(rs)))
 }
 
 // readDoc parses one benchjson document from disk.

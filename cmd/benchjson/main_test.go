@@ -123,6 +123,63 @@ BenchmarkInsertAll 	     100	    500000 ns/op	      4096 elems/op	      10.00 by
 	}
 }
 
+// TestDiffGeomeanPerSuite pins the summary rows: variants of one
+// benchmark fold into one per-suite geomean (a 2x regression and a 2x
+// improvement cancel to 1.000x), flat names form their own suite, and
+// an overall geomean covers every compared row. Rows without a
+// baseline contribute nothing.
+func TestDiffGeomeanPerSuite(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", Doc{Results: []Result{
+		{Name: "InsertAll/kind=a-8", NsPerOp: Stat{Mean: 100}},
+		{Name: "InsertAll/kind=b-8", NsPerOp: Stat{Mean: 100}},
+		{Name: "FindAll-8", NsPerOp: Stat{Mean: 100}},
+	}})
+	newPath := writeDoc(t, dir, "new.json", Doc{Results: []Result{
+		{Name: "InsertAll/kind=a-8", NsPerOp: Stat{Mean: 200}},
+		{Name: "InsertAll/kind=b-8", NsPerOp: Stat{Mean: 50}},
+		{Name: "FindAll-8", NsPerOp: Stat{Mean: 110}},
+		{Name: "Fresh-8", NsPerOp: Stat{Mean: 5}},
+	}})
+	var out strings.Builder
+	diff(&out, oldPath, newPath, 1000)
+	got := out.String()
+	for _, want := range []string{
+		"geomean InsertAll: 1.000x (+0.0%) over 2 row(s)",
+		"geomean FindAll-8: 1.100x (+10.0%) over 1 row(s)",
+		"geomean all: 1.032x (+3.2%) over 3 row(s)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestDiffReturnsGeomeanForGating pins the -fail -geomean contract:
+// diff reports both the per-row regression count and the overall
+// geomean delta, and opposite swings that individually breach the
+// threshold cancel in the geomean — so the geomean gate passes a run
+// the per-row gate would flake on.
+func TestDiffReturnsGeomeanForGating(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", Doc{Results: []Result{
+		{Name: "InsertAll", NsPerOp: Stat{Mean: 100}},
+		{Name: "FindAll", NsPerOp: Stat{Mean: 100}},
+	}})
+	newPath := writeDoc(t, dir, "new.json", Doc{Results: []Result{
+		{Name: "InsertAll", NsPerOp: Stat{Mean: 105}},
+		{Name: "FindAll", NsPerOp: Stat{Mean: 100.0 / 1.05}},
+	}})
+	var out strings.Builder
+	regressions, geomeanPct := diff(&out, oldPath, newPath, 1)
+	if regressions != 1 {
+		t.Errorf("regressions = %d, want 1 (only the +5%% row breaches)", regressions)
+	}
+	if geomeanPct > 0.01 || geomeanPct < -0.01 {
+		t.Errorf("geomeanPct = %v, want ~0 (+5%% and -4.8%% cancel)", geomeanPct)
+	}
+}
+
 func TestAccumStatEmpty(t *testing.T) {
 	var a accum
 	if got := a.stat(); got != (Stat{}) {

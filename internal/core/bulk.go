@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"phasehash/internal/obs"
 	"phasehash/internal/parallel"
 )
 
@@ -94,8 +95,14 @@ func (t *WordTable[O]) TryInsertAll(elems []uint64) (int, error) {
 // home cell (the touch is an atomic load, so it cannot race with the
 // phase's CASes); the probe pass then runs against warm lines. full
 // returns the index of a saturating element, or -1.
+//
+// The always-on counter core is fed one batched call per block (ops and
+// probe steps accumulate in locals), which keeps the per-element cost
+// inside the 1% overhead gate budget. Only completed ops are counted:
+// on the saturation path the sweeping element's steps are dropped.
 func (t *WordTable[O]) insertRange(elems []uint64, lo, hi int) (added, full int) {
 	var homes [stageChunk]int
+	var coreSteps uint64
 	for base := lo; base < hi; base += stageChunk {
 		end := base + stageChunk
 		if end > hi {
@@ -111,14 +118,21 @@ func (t *WordTable[O]) insertRange(elems []uint64, lo, hi int) (added, full int)
 			atomic.LoadUint64(&t.cells[h])
 		}
 		for i := base; i < end; i++ {
-			a, f := t.insertLoopFrom(elems[i], homes[i-base])
+			a, f, s := t.insertLoopFrom(elems[i], homes[i-base])
 			if f {
+				if obs.CoreEnabled {
+					obs.CoreInsert(lo>>6, uint64(i-lo), coreSteps)
+				}
 				return added, i
 			}
+			coreSteps += uint64(s)
 			if a {
 				added++
 			}
 		}
+	}
+	if obs.CoreEnabled {
+		obs.CoreInsert(lo>>6, uint64(hi-lo), coreSteps)
 	}
 	return added, -1
 }
@@ -131,6 +145,7 @@ func (t *WordTable[O]) FindAll(keys []uint64, dst []uint64) int {
 	var found atomic.Int64
 	parallel.ForBlocked(len(keys), 0, func(lo, hi int) {
 		var homes [stageChunk]int
+		var coreSteps uint64
 		n := 0
 		for base := lo; base < hi; base += stageChunk {
 			end := base + stageChunk
@@ -143,7 +158,8 @@ func (t *WordTable[O]) FindAll(keys []uint64, dst []uint64) int {
 				atomic.LoadUint64(&t.cells[h])
 			}
 			for i := base; i < end; i++ {
-				e, ok := t.findFrom(keys[i], homes[i-base])
+				e, ok, s := t.findFrom(keys[i], homes[i-base])
+				coreSteps += uint64(s)
 				if ok {
 					n++
 				}
@@ -151,6 +167,9 @@ func (t *WordTable[O]) FindAll(keys []uint64, dst []uint64) int {
 					dst[i] = e
 				}
 			}
+		}
+		if obs.CoreEnabled {
+			obs.CoreFind(lo>>6, uint64(hi-lo), coreSteps, uint64(n))
 		}
 		if n != 0 {
 			found.Add(int64(n))
@@ -173,6 +192,7 @@ func (t *WordTable[O]) DeleteAll(keys []uint64) int {
 	var deleted atomic.Int64
 	parallel.ForBlocked(len(keys), 0, func(lo, hi int) {
 		var homes [stageChunk]int
+		var coreSteps uint64
 		n := 0
 		for base := lo; base < hi; base += stageChunk {
 			end := base + stageChunk
@@ -185,10 +205,15 @@ func (t *WordTable[O]) DeleteAll(keys []uint64) int {
 				atomic.LoadUint64(&t.cells[h])
 			}
 			for i := base; i < end; i++ {
-				if t.deleteFrom(keys[i], homes[i-base]) {
+				d, s := t.deleteFrom(keys[i], homes[i-base])
+				coreSteps += uint64(s)
+				if d {
 					n++
 				}
 			}
+		}
+		if obs.CoreEnabled {
+			obs.CoreDelete(lo>>6, uint64(hi-lo), coreSteps)
 		}
 		if n != 0 {
 			deleted.Add(int64(n))

@@ -42,7 +42,7 @@ func TestSaturatedFindTerminates(t *testing.T) {
 	if _, ok := wt.Find(absent); ok {
 		t.Fatalf("absent key %#x reported present", absent)
 	}
-	if e, ok := wt.findSerial(absent); ok || e != Empty {
+	if e, ok, _ := wt.findSerial(absent); ok || e != Empty {
 		t.Fatalf("findSerial(absent %#x) = %#x, %v", absent, e, ok)
 	}
 	for _, v := range stored {
@@ -60,7 +60,7 @@ func TestSaturatedDeleteTerminates(t *testing.T) {
 	if wt.Delete(absent) {
 		t.Fatalf("deleting absent key %#x reported success", absent)
 	}
-	if wt.deleteSerial(absent) {
+	if d, _ := wt.deleteSerial(absent); d {
 		t.Fatalf("deleteSerial(absent %#x) reported success", absent)
 	}
 	if got := wt.Count(); got != wt.Size() {
@@ -71,7 +71,7 @@ func TestSaturatedDeleteTerminates(t *testing.T) {
 	if !wt.Delete(stored[len(stored)/2]) {
 		t.Fatal("deleting a stored key from a full table failed")
 	}
-	if !wt.deleteSerial(stored[0]) {
+	if d, _ := wt.deleteSerial(stored[0]); !d {
 		t.Fatal("deleteSerial of a stored key from a full table failed")
 	}
 	if err := wt.CheckInvariant(); err != nil {

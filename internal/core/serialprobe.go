@@ -35,7 +35,7 @@ import "phasehash/internal/obs"
 // full reports a whole-array sweep, exactly like insertLoop.
 //
 //phasehash:serial owner-computes: exactly one worker streams this shard after the radix partition, and history independence makes the serial replay land in the same quiescent layout
-func (t *WordTable[O]) insertSerial(v uint64) (added, full bool) {
+func (t *WordTable[O]) insertSerial(v uint64) (added, full bool, steps int) {
 	var obsDisp uint64
 	i := t.home(v)
 	start := i
@@ -45,7 +45,7 @@ func (t *WordTable[O]) insertSerial(v uint64) (added, full bool) {
 			if obs.Enabled {
 				obs.RecordInsert(start, uint64(i-start), 0, 0, obsDisp)
 			}
-			return false, true
+			return false, true, i - start
 		}
 		c := t.cells[i&t.mask]
 		switch {
@@ -54,7 +54,7 @@ func (t *WordTable[O]) insertSerial(v uint64) (added, full bool) {
 			if obs.Enabled {
 				obs.RecordInsert(start, uint64(i-start), 0, 0, obsDisp)
 			}
-			return true, false
+			return true, false, i - start
 		default:
 			cmp := t.ops.Cmp(c, v)
 			switch {
@@ -65,7 +65,7 @@ func (t *WordTable[O]) insertSerial(v uint64) (added, full bool) {
 				if obs.Enabled {
 					obs.RecordInsert(start, uint64(i-start), 0, 0, obsDisp)
 				}
-				return false, false
+				return false, false, i - start
 			case cmp > 0: // cell has higher priority; keep probing
 				i++
 			default: // v has higher priority; swap in, carry c forward
@@ -83,7 +83,7 @@ func (t *WordTable[O]) insertSerial(v uint64) (added, full bool) {
 // findSerial is findFrom with plain loads.
 //
 //phasehash:serial owner-computes: the shard is exclusively owned for the whole bulk find phase, so no store can race these loads
-func (t *WordTable[O]) findSerial(v uint64) (uint64, bool) {
+func (t *WordTable[O]) findSerial(v uint64) (uint64, bool, int) {
 	i := t.home(v)
 	start := i
 	// Like insertSerial (and findFrom), bound the probe to one full
@@ -96,20 +96,20 @@ func (t *WordTable[O]) findSerial(v uint64) (uint64, bool) {
 			if obs.Enabled {
 				obs.RecordFind(start, uint64(i-start), false)
 			}
-			return Empty, false
+			return Empty, false, i - start
 		}
 		cmp := t.ops.Cmp(v, c)
 		if cmp > 0 {
 			if obs.Enabled {
 				obs.RecordFind(start, uint64(i-start), false)
 			}
-			return Empty, false
+			return Empty, false, i - start
 		}
 		if cmp == 0 {
 			if obs.Enabled {
 				obs.RecordFind(start, uint64(i-start), true)
 			}
-			return c, true
+			return c, true, i - start
 		}
 		i++
 	}
@@ -117,7 +117,7 @@ func (t *WordTable[O]) findSerial(v uint64) (uint64, bool) {
 	if obs.Enabled {
 		obs.RecordFind(start, uint64(i-start), false)
 	}
-	return Empty, false
+	return Empty, false, i - start
 }
 
 // deleteSerial is deleteFrom with plain memory operations. The
@@ -128,8 +128,8 @@ func (t *WordTable[O]) findSerial(v uint64) (uint64, bool) {
 // before it into the hole, and repeat on the copy it left behind.
 //
 //phasehash:serial owner-computes: exclusive shard ownership removes the concurrent deletes the atomic version's re-scans exist to chase
-func (t *WordTable[O]) deleteSerial(v uint64) bool {
-	var obsScan, obsRepl uint64
+func (t *WordTable[O]) deleteSerial(v uint64) (deleted bool, steps int) {
+	var obsRepl uint64
 	home := t.home(v)
 	k := home
 	// Bounded like findSerial: on a saturated shard the victim scan for
@@ -144,24 +144,22 @@ func (t *WordTable[O]) deleteSerial(v uint64) bool {
 		}
 		k++
 	}
-	if obs.Enabled {
-		obsScan = uint64(k - home)
-	}
+	steps = k - home
 	for {
 		c := t.cells[k&t.mask]
 		if c == Empty || t.ops.Cmp(v, c) != 0 {
 			if obs.Enabled {
-				obs.RecordDelete(home, obsScan, obsRepl, 0)
+				obs.RecordDelete(home, uint64(steps), obsRepl, 0)
 			}
-			return false
+			return false, steps
 		}
 		j, w := t.findReplacementSerial(k)
 		t.cells[k&t.mask] = w
 		if w == Empty {
 			if obs.Enabled {
-				obs.RecordDelete(home, obsScan, obsRepl, 0)
+				obs.RecordDelete(home, uint64(steps), obsRepl, 0)
 			}
-			return true
+			return true, steps
 		}
 		if obs.Enabled {
 			obsRepl++
@@ -197,18 +195,31 @@ func (t *WordTable[O]) findReplacementSerial(i int) (int, uint64) {
 // elements (one shard's partition run). full returns the index within
 // elems of a saturating element, or -1; reserved elements panic exactly
 // as Insert does.
+//
+// The always-on core gets one batched publish per run (stripe: the
+// run's first home cell), counting only completed operations — same
+// discipline as the bulk kernels, same reason: the per-op hook cost
+// would not fit the overhead gate.
 func (t *WordTable[O]) insertRangeSerial(elems []uint64) (added, full int) {
+	var coreSteps uint64
 	for i, v := range elems {
 		if v == Empty {
 			panic("core: WordTable: cannot insert the reserved empty element")
 		}
-		a, f := t.insertSerial(v)
+		a, f, s := t.insertSerial(v)
 		if f {
+			if obs.CoreEnabled && i > 0 {
+				obs.CoreInsert(t.home(elems[0]), uint64(i), coreSteps)
+			}
 			return added, i
 		}
+		coreSteps += uint64(s)
 		if a {
 			added++
 		}
+	}
+	if obs.CoreEnabled && len(elems) > 0 {
+		obs.CoreInsert(t.home(elems[0]), uint64(len(elems)), coreSteps)
 	}
 	return added, -1
 }
@@ -217,6 +228,7 @@ func (t *WordTable[O]) insertRangeSerial(elems []uint64) (added, full int) {
 // every element is attempted (duplicate keys can still merge into a
 // saturated shard), and the first error is reported.
 func (t *WordTable[O]) tryInsertRangeSerial(elems []uint64) (added int, err error) {
+	var coreOps, coreSteps uint64
 	for _, v := range elems {
 		if v == Empty {
 			if err == nil {
@@ -224,16 +236,21 @@ func (t *WordTable[O]) tryInsertRangeSerial(elems []uint64) (added int, err erro
 			}
 			continue
 		}
-		a, f := t.insertSerial(v)
+		a, f, s := t.insertSerial(v)
 		if f {
 			if err == nil {
 				err = t.fullErr()
 			}
 			continue
 		}
+		coreOps++
+		coreSteps += uint64(s)
 		if a {
 			added++
 		}
+	}
+	if obs.CoreEnabled && len(elems) > 0 {
+		obs.CoreInsert(t.home(elems[0]), coreOps, coreSteps)
 	}
 	return added, err
 }
@@ -241,9 +258,11 @@ func (t *WordTable[O]) tryInsertRangeSerial(elems []uint64) (added int, err erro
 // findRangeSerial counts how many of the keys are present; when dst is
 // non-nil, dst[i] receives the stored element for keys[i] or Empty.
 func (t *WordTable[O]) findRangeSerial(keys, dst []uint64) int {
+	var coreSteps uint64
 	n := 0
 	for i, v := range keys {
-		e, ok := t.findSerial(v)
+		e, ok, s := t.findSerial(v)
+		coreSteps += uint64(s)
 		if ok {
 			n++
 		}
@@ -251,17 +270,26 @@ func (t *WordTable[O]) findRangeSerial(keys, dst []uint64) int {
 			dst[i] = e
 		}
 	}
+	if obs.CoreEnabled && len(keys) > 0 {
+		obs.CoreFind(t.home(keys[0]), uint64(len(keys)), coreSteps, uint64(n))
+	}
 	return n
 }
 
 // deleteRangeSerial deletes every key of the run, returning how many
 // were present.
 func (t *WordTable[O]) deleteRangeSerial(keys []uint64) int {
+	var coreSteps uint64
 	n := 0
 	for _, v := range keys {
-		if t.deleteSerial(v) {
+		d, s := t.deleteSerial(v)
+		coreSteps += uint64(s)
+		if d {
 			n++
 		}
+	}
+	if obs.CoreEnabled && len(keys) > 0 {
+		obs.CoreDelete(t.home(keys[0]), uint64(len(keys)), coreSteps)
 	}
 	return n
 }

@@ -5,6 +5,7 @@ import (
 
 	"phasehash/internal/obs"
 	"phasehash/internal/parallel"
+	"phasehash/internal/tune"
 )
 
 // ShardedTable is a radix-partitioned variant of WordTable: 2^k
@@ -53,21 +54,32 @@ type ShardedTable[O Ops] struct {
 
 // minShardCells floors the per-shard capacity the automatic shard-count
 // policy will create: below ~4K cells (32KB) the partition pass's two
-// streaming passes cost more than the locality they buy.
-const minShardCells = 4096
+// streaming passes cost more than the locality they buy. Mirrored by
+// tune.MinShardCells, which owns the live policy.
+const minShardCells = tune.MinShardCells
 
 // maxAutoShards caps the automatic policy; per-worker histograms in the
 // partition pass are O(shards), so unbounded shard counts turn the
-// counting passes into the bottleneck.
-const maxAutoShards = 256
+// counting passes into the bottleneck. Mirrored by tune.MaxAutoShards.
+const maxAutoShards = tune.MaxAutoShards
 
 // NewShardedTable returns a sharded table with capacity for at least
 // size elements in total, split over the given number of shards
-// (rounded up to a power of two). shards <= 0 selects automatically:
-// 4× the current parallel.NumWorkers() — the owner-computes kernels
-// give each shard run to one worker, so a few runs per worker smooths
-// multinomial skew — clamped so every shard keeps at least
-// minShardCells cells.
+// (rounded up to a power of two). shards <= 0 delegates to
+// tune.Shards, fed by the always-on counter core's max-shard-imbalance
+// gauge: with no skew observed (or under -tags nostats) it is exactly
+// the legacy static policy — 4× the current parallel.NumWorkers(),
+// clamped so every shard keeps at least minShardCells cells — and on
+// observed heavy skew it falls to one shard per worker (extra shards
+// cannot shorten a skew-bound critical path but still pay O(shards)
+// partition histograms).
+//
+// Note the shard count is part of the table's deterministic layout
+// function. The gauge is schedule-independent for a fixed multiset of
+// prior bulk calls, so auto-sharded construction stays reproducible
+// run-to-run; workloads that need bit-identical layouts across
+// *different* operation histories should pass an explicit shard count
+// (as the detres oracles do).
 //
 // Keys spread over shards multinomially, so per-shard load factors
 // fluctuate around the average; size with the same headroom you would
@@ -79,13 +91,7 @@ func NewShardedTable[O Ops](size, shards int) *ShardedTable[O] {
 		size = 1
 	}
 	if shards <= 0 {
-		shards = 4 * parallel.NumWorkers()
-		if shards > maxAutoShards {
-			shards = maxAutoShards
-		}
-		for shards > 1 && (size+shards-1)/shards < minShardCells {
-			shards /= 2
-		}
+		shards = tune.Shards(size, parallel.NumWorkers(), obs.CoreMaxShardImbalancePm())
 	}
 	s := 1
 	k := uint(0)
@@ -169,6 +175,9 @@ func (t *ShardedTable[O]) partitionByShard(elems []uint64) ([]uint64, []int) {
 	if obs.Enabled {
 		obs.RecordShardBulk(offsets)
 	}
+	if obs.CoreEnabled {
+		obs.CoreShardBulk(offsets)
+	}
 	return scratch, offsets
 }
 
@@ -250,15 +259,23 @@ func (t *ShardedTable[O]) FindAll(keys []uint64, dst []uint64) int {
 		if obs.Enabled {
 			obs.RecordShardBulk(offsets)
 		}
+		if obs.CoreEnabled {
+			obs.CoreShardBulk(offsets)
+		}
 		parallel.ForGrain(len(t.shards), 1, func(s int) {
 			sh := t.shards[s]
+			var coreSteps uint64
 			n := 0
 			for _, i := range perm[offsets[s]:offsets[s+1]] {
-				e, ok := sh.findSerial(keys[i])
+				e, ok, st := sh.findSerial(keys[i])
+				coreSteps += uint64(st)
 				if ok {
 					n++
 				}
 				dst[i] = e
+			}
+			if obs.CoreEnabled && offsets[s+1] > offsets[s] {
+				obs.CoreFind(s, uint64(offsets[s+1]-offsets[s]), coreSteps, uint64(n))
 			}
 			found[s] = n
 		})

@@ -110,9 +110,17 @@ func (t *WordTable[O]) TryInsert(v uint64) (bool, error) {
 
 // insertLoop is the probe loop shared by Insert and TryInsert, kept free
 // of error construction so both stay thin inlinable wrappers. full
-// reports a whole-array sweep (saturation).
+// reports a whole-array sweep (saturation). The per-element API is the
+// always-on core's per-op publish point; the bulk kernels batch whole
+// blocks instead (bulk.go).
 func (t *WordTable[O]) insertLoop(v uint64) (added, full bool) {
-	return t.insertLoopFrom(v, t.home(v))
+	h := t.home(v)
+	var steps int
+	added, full, steps = t.insertLoopFrom(v, h)
+	if obs.CoreEnabled {
+		obs.CoreInsert(h, 1, uint64(steps))
+	}
+	return added, full
 }
 
 // insertLoopFrom is insertLoop starting from a caller-supplied probe
@@ -126,8 +134,10 @@ func (t *WordTable[O]) insertLoop(v uint64) (added, full bool) {
 // Telemetry (obs builds only; const-folded away otherwise) accumulates
 // in locals and publishes once per operation at the return points. The
 // probe-step count is i-start: i grows monotonically, so the final
-// offset is exactly the cells walked.
-func (t *WordTable[O]) insertLoopFrom(v uint64, i int) (added, full bool) {
+// offset is exactly the cells walked — also returned as steps so the
+// caller can feed the always-on counter core (per op from the
+// per-element API, batched per block from the bulk kernels).
+func (t *WordTable[O]) insertLoopFrom(v uint64, i int) (added, full bool, steps int) {
 	var obsCAS, obsFail, obsDisp uint64
 	start := i
 	limit := i + len(t.cells)
@@ -139,7 +149,7 @@ func (t *WordTable[O]) insertLoopFrom(v uint64, i int) (added, full bool) {
 			if obs.Enabled {
 				obs.RecordInsert(start, uint64(i-start), obsCAS, obsFail, obsDisp)
 			}
-			return false, true
+			return false, true, i - start
 		}
 		c := t.load(i)
 		if c == Empty {
@@ -153,7 +163,7 @@ func (t *WordTable[O]) insertLoopFrom(v uint64, i int) (added, full bool) {
 				if obs.Enabled {
 					obs.RecordInsert(start, uint64(i-start), obsCAS+1, obsFail, obsDisp)
 				}
-				return true, false
+				return true, false, i - start
 			}
 			if obs.Enabled {
 				obsCAS, obsFail = obsCAS+1, obsFail+1
@@ -180,7 +190,7 @@ func (t *WordTable[O]) insertLoopFrom(v uint64, i int) (added, full bool) {
 					}
 					obs.RecordInsert(start, uint64(i-start), obsCAS, obsFail, obsDisp)
 				}
-				return false, false
+				return false, false, i - start
 			}
 			if obs.Enabled {
 				obsCAS, obsFail = obsCAS+1, obsFail+1
@@ -258,6 +268,9 @@ func (t *WordTable[O]) InsertLimited(v uint64, limit int) (added, ok bool) {
 				if obs.Enabled {
 					obs.RecordInsert(start, uint64(i-start), obsCAS+1, obsFail, obsDisp)
 				}
+				if obs.CoreEnabled {
+					obs.CoreInsert(start, 1, uint64(i-start))
+				}
 				return true, true
 			}
 			if obs.Enabled {
@@ -281,6 +294,9 @@ func (t *WordTable[O]) InsertLimited(v uint64, limit int) (added, ok bool) {
 						obsCAS++
 					}
 					obs.RecordInsert(start, uint64(i-start), obsCAS, obsFail, obsDisp)
+				}
+				if obs.CoreEnabled {
+					obs.CoreInsert(start, 1, uint64(i-start))
 				}
 				return false, true
 			}
@@ -316,7 +332,16 @@ func (t *WordTable[O]) InsertLimited(v uint64, limit int) (added, ok bool) {
 // cells hold strictly higher-priority keys; the ordering invariant makes
 // the first cell with priority <= v's the only place v can live.
 func (t *WordTable[O]) Find(v uint64) (uint64, bool) {
-	return t.findFrom(v, t.home(v))
+	h := t.home(v)
+	e, ok, steps := t.findFrom(v, h)
+	if obs.CoreEnabled {
+		var hit uint64
+		if ok {
+			hit = 1
+		}
+		obs.CoreFind(h, 1, uint64(steps), hit)
+	}
+	return e, ok
 }
 
 // findFrom is Find starting from a caller-supplied probe origin (i must
@@ -325,7 +350,7 @@ func (t *WordTable[O]) Find(v uint64) (uint64, bool) {
 // absent key of lower priority than everything in its path would
 // otherwise wrap forever (insertLoopFrom has the same guard; that is
 // how ErrFull is detected).
-func (t *WordTable[O]) findFrom(v uint64, i int) (uint64, bool) {
+func (t *WordTable[O]) findFrom(v uint64, i int) (uint64, bool, int) {
 	start := i
 	limit := i + len(t.cells)
 	for i < limit {
@@ -334,20 +359,20 @@ func (t *WordTable[O]) findFrom(v uint64, i int) (uint64, bool) {
 			if obs.Enabled {
 				obs.RecordFind(start, uint64(i-start), false)
 			}
-			return Empty, false
+			return Empty, false, i - start
 		}
 		cmp := t.ops.Cmp(v, c)
 		if cmp > 0 {
 			if obs.Enabled {
 				obs.RecordFind(start, uint64(i-start), false)
 			}
-			return Empty, false
+			return Empty, false, i - start
 		}
 		if cmp == 0 {
 			if obs.Enabled {
 				obs.RecordFind(start, uint64(i-start), true)
 			}
-			return c, true
+			return c, true, i - start
 		}
 		i++
 	}
@@ -355,7 +380,7 @@ func (t *WordTable[O]) findFrom(v uint64, i int) (uint64, bool) {
 	if obs.Enabled {
 		obs.RecordFind(start, uint64(i-start), false)
 	}
-	return Empty, false
+	return Empty, false, i - start
 }
 
 // Contains is Find without returning the element.
@@ -371,15 +396,22 @@ func (t *WordTable[O]) Contains(v uint64) bool {
 // legally move back into the hole, CAS it in, and recursively delete the
 // copy it left behind.
 func (t *WordTable[O]) Delete(v uint64) bool {
-	return t.deleteFrom(v, t.home(v))
+	h := t.home(v)
+	deleted, steps := t.deleteFrom(v, h)
+	if obs.CoreEnabled {
+		obs.CoreDelete(h, 1, uint64(steps))
+	}
+	return deleted
 }
 
 // deleteFrom is Delete starting from a caller-supplied probe origin (i
-// must be t.home(v)); see insertLoopFrom.
-func (t *WordTable[O]) deleteFrom(v uint64, i int) bool {
+// must be t.home(v)); see insertLoopFrom. steps is the victim-scan
+// length (cells walked to locate v's cluster position), the cheap
+// per-op cost proxy the always-on core records.
+func (t *WordTable[O]) deleteFrom(v uint64, i int) (deleted bool, steps int) {
 	// Find v or the first element past it in the probe sequence
 	// (concurrent deletes may have shifted v back, never forward).
-	var obsScan, obsRepl, obsFail uint64
+	var obsRepl, obsFail uint64
 	home := i
 	k := i
 	// The sweep bound keeps the victim scan finite on a saturated table
@@ -393,10 +425,7 @@ func (t *WordTable[O]) deleteFrom(v uint64, i int) bool {
 		}
 		k++
 	}
-	if obs.Enabled {
-		obsScan = uint64(k - home)
-	}
-	deleted := false
+	steps = k - home
 	for k >= i {
 		if chaos.Enabled {
 			// Yield only: a forced CAS failure here would be read as "a
@@ -413,9 +442,9 @@ func (t *WordTable[O]) deleteFrom(v uint64, i int) bool {
 			deleted = true
 			if w == Empty {
 				if obs.Enabled {
-					obs.RecordDelete(home, obsScan, obsRepl, obsFail)
+					obs.RecordDelete(home, uint64(steps), obsRepl, obsFail)
 				}
-				return true
+				return true, steps
 			}
 			if obs.Enabled {
 				obsRepl++
@@ -433,9 +462,9 @@ func (t *WordTable[O]) deleteFrom(v uint64, i int) bool {
 		}
 	}
 	if obs.Enabled {
-		obs.RecordDelete(home, obsScan, obsRepl, obsFail)
+		obs.RecordDelete(home, uint64(steps), obsRepl, obsFail)
 	}
-	return deleted
+	return deleted, steps
 }
 
 // findReplacement implements Figure 1's FINDREPLACEMENT: given the

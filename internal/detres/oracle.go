@@ -29,6 +29,11 @@ type OracleResult struct {
 	Elements []uint64 // deterministic packed contents
 	Layout   []uint64 // raw cell array (history-independence witness)
 	Count    int
+	// Trace is the self-tuning decision trace when the runner exercises
+	// an adaptive component (TuneEpochRunner); empty otherwise. Compared
+	// byte-for-byte like the layout: tuning decisions must be a pure
+	// function of the operation script, never of the schedule.
+	Trace string
 }
 
 // Runner replays a workload on one table implementation: a parallel
@@ -453,6 +458,9 @@ func compareResults(a, b OracleResult) string {
 		if a.Layout[i] != b.Layout[i] {
 			return fmt.Sprintf("quiescent cell %d = %#x vs %#x", i, a.Layout[i], b.Layout[i])
 		}
+	}
+	if a.Trace != b.Trace {
+		return fmt.Sprintf("tuning trace %q vs %q", a.Trace, b.Trace)
 	}
 	return ""
 }

@@ -1,0 +1,167 @@
+package detres
+
+// Self-tuning oracle: the determinism claim extended across the
+// adaptive layer. internal/tune picks the flush execution path for
+// each epoch (serial / parallel-atomic / sharded-bulk) from that
+// epoch's admitted batch sizes; the claim is that the decisions — and
+// therefore the decision trace AND the quiescent state they produce —
+// are a pure function of the operation script, never of the schedule.
+// TuneEpochRunner replays a path-crossing epoch script through a live
+// epoch.Server with Config.Tune on and captures both the per-epoch
+// quiescent snapshots and the server's TuneTrace; TuneEpochRefRunner
+// replays the same script through the bare bulk kernels plus a bare
+// controller fed the script's own batch sizes. RunOracle then proves
+// grid-wide byte-identity of state + trace, and RunCrossOracle pins
+// the live adaptive server to the goroutine-free reference — any
+// schedule dependence in the tuner's inputs lands here.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"phasehash/internal/chaos"
+	"phasehash/internal/core"
+	"phasehash/internal/epoch"
+	"phasehash/internal/parallel"
+	"phasehash/internal/tune"
+)
+
+// tuneStepFor scripts one epoch over a chunk with the oracle's usual
+// conventions: insert the whole chunk, delete every third element,
+// find every fifth.
+func tuneStepFor(chunk []uint64) epochStep {
+	st := epochStep{ins: chunk}
+	for i := 0; i < len(chunk); i += 3 {
+		st.del = append(st.del, chunk[i])
+	}
+	for i := 0; i < len(chunk); i += 5 {
+		st.fnd = append(st.fnd, chunk[i])
+	}
+	return st
+}
+
+// tuneScript splits the workload into epochs whose batch sizes cross
+// the tune path thresholds: a small epoch (≤ SerialBatchMax), a medium
+// one (≤ ParallelBatchMax) and the large remainder, so a full-size
+// workload drives the controller through all three flush paths and the
+// oracle compares a trace with real decisions in it, not a constant.
+// Like epochScript, the split depends only on the workload.
+func tuneScript(elems []uint64) []epochStep {
+	bounds := []int{tune.SerialBatchMax / 4, tune.ParallelBatchMax / 2}
+	steps := make([]epochStep, 0, len(bounds)+1)
+	lo := 0
+	for _, hi := range bounds {
+		if hi > len(elems) {
+			hi = len(elems)
+		}
+		if hi > lo {
+			steps = append(steps, tuneStepFor(elems[lo:hi]))
+			lo = hi
+		}
+	}
+	if lo < len(elems) {
+		steps = append(steps, tuneStepFor(elems[lo:]))
+	}
+	return steps
+}
+
+// TuneEpochRunner replays the path-crossing script through a live
+// epoch.Server with the adaptive flush-path selector enabled. As in
+// EpochRunner, MaxBatch and QueueLimit are sized to the largest epoch
+// so every Flush executes exactly one script epoch — which makes the
+// controller's inputs (the per-epoch batch sizes) exactly the script's,
+// whatever the submission schedule. The observation appends each
+// epoch's quiescent snapshot and finally the server's decision trace.
+type TuneEpochRunner struct {
+	Capacity int
+	Shards   int // pinned, as everywhere in the oracle
+}
+
+// Name implements Runner.
+func (r TuneEpochRunner) Name() string { return "tune-epoch" }
+
+// Run implements Runner.
+func (r TuneEpochRunner) Run(elems []uint64, workers int) OracleResult {
+	if workers < 1 {
+		workers = 1
+	}
+	steps := tuneScript(elems)
+	limit := 1
+	for _, st := range steps {
+		if n := len(st.ins) + len(st.del) + len(st.fnd) + 1; n > limit {
+			limit = n
+		}
+	}
+	limit += 16
+	// The controller also adjusts the global parallel grain knob
+	// (performance-only, excluded from the trace); restore the default
+	// so one grid cell cannot leak tuning into the next.
+	defer parallel.SetBlocksPerWorker(0)
+	s := epoch.NewServerWith(
+		epoch.Config{MaxBatch: limit, QueueLimit: limit, Tune: true},
+		core.NewShardedTable[core.SetOps](r.Capacity, r.Shards))
+	defer s.Close(context.Background())
+
+	var layout, packed []uint64
+	count := 0
+	for _, st := range steps {
+		ops := st.ops()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if chaos.Enabled {
+					chaos.SkewWorker(chaos.SiteParallelWorker)
+				}
+				for i := w; i < len(ops); i += workers {
+					if _, err := s.Submit(context.Background(), ops[i].op, ops[i].key); err != nil {
+						// The queue is sized to the script; any admission
+						// error here is a harness bug, not a grid outcome.
+						panic(fmt.Sprintf("detres: tune oracle Submit(%v, %#x): %v", ops[i].op, ops[i].key, err))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		s.Flush()
+		t := s.Table()
+		layout = append(layout, t.Snapshot()...)
+		packed = append(packed, t.Elements()...)
+		count += t.Count()
+	}
+	return OracleResult{Elements: packed, Layout: layout, Count: count, Trace: s.TuneTrace()}
+}
+
+// TuneEpochRefRunner is the adaptive server with every moving part
+// removed: the same script replayed through the bare bulk kernels,
+// with a bare controller fed each epoch's scripted batch sizes — the
+// exact inputs the server's flush hands its own controller (reads
+// include the one OpElements snapshot per epoch). Its trace is the
+// ground truth the live server's must match byte-for-byte.
+type TuneEpochRefRunner struct {
+	Capacity int
+	Shards   int
+}
+
+// Name implements Runner.
+func (r TuneEpochRefRunner) Name() string { return "tune-epoch-ref" }
+
+// Run implements Runner.
+func (r TuneEpochRefRunner) Run(elems []uint64, workers int) OracleResult {
+	t := core.NewShardedTable[core.SetOps](r.Capacity, r.Shards)
+	ctrl := tune.NewController(false)
+	var layout, packed []uint64
+	count := 0
+	for _, st := range tuneScript(elems) {
+		ctrl.Step()
+		ctrl.DecidePath(len(st.ins), len(st.del), len(st.fnd)+1)
+		t.TryInsertAll(st.ins) // capacity is sized by the caller; ErrFull would diverge the layout and be caught
+		t.DeleteAll(st.del)
+		layout = append(layout, t.Snapshot()...)
+		packed = append(packed, t.Elements()...)
+		count += t.Count()
+	}
+	return OracleResult{Elements: packed, Layout: layout, Count: count, Trace: ctrl.TraceString()}
+}

@@ -57,6 +57,8 @@ import (
 	"phasehash/internal/chaos"
 	"phasehash/internal/core"
 	"phasehash/internal/obs"
+	"phasehash/internal/parallel"
+	"phasehash/internal/tune"
 )
 
 // Op identifies one operation kind submitted to the server.
@@ -180,6 +182,18 @@ type Config struct {
 	// flush — an experiment knob for simulating a slower backend in
 	// overload soaks and tests (see EXPERIMENTS.md). Zero in production.
 	FlushDelay time.Duration
+	// Tune enables the adaptive flush-path selector (internal/tune): a
+	// per-server controller picks serial, parallel-atomic or
+	// sharded-bulk execution for each epoch's phases from that epoch's
+	// batch sizes, and adjusts the parallel loop grain from the
+	// always-on counter core at flush boundaries. All three paths apply
+	// the same operation multiset, so by history independence the
+	// quiescent table state is identical whichever is picked; the
+	// decision trace itself is deterministic (schedule-independent
+	// inputs only) and exposed via TuneTrace. Off by default: the
+	// static policy flushes every phase through the sharded bulk
+	// kernels.
+	Tune bool
 }
 
 // withDefaults returns cfg with unset fields defaulted.
@@ -207,7 +221,11 @@ type Stats struct {
 	Epochs       uint64 // epochs flushed
 	Splits       uint64 // extra epochs from splitting oversized batches
 	FlushedOps   uint64 // ops executed across all epochs
+	InsertOps    uint64 // insert ops executed (per-class split of FlushedOps)
+	DeleteOps    uint64 // delete ops executed
+	ReadOps      uint64 // find + elements ops executed
 	InsertFull   uint64 // insert futures resolved with core.ErrFull
+	TuneSwitches uint64 // flush-path/kind decisions recorded by the tuner (0 when Tune off)
 	MaxQueue     int    // deepest pending queue observed (≤ QueueLimit always)
 }
 
@@ -225,6 +243,11 @@ type pendingOp struct {
 type Server struct {
 	cfg   Config
 	table *core.ShardedTable[core.SetOps]
+
+	// ctrl is the adaptive flush-path controller (nil when Config.Tune
+	// is off). Only the flusher goroutine touches it, so it needs no
+	// locking; TuneTrace documents its quiescent-read contract.
+	ctrl *tune.Controller
 
 	mu      sync.Mutex
 	notFull *sync.Cond
@@ -262,6 +285,9 @@ func NewServerWith(cfg Config, table *core.ShardedTable[core.SetOps]) *Server {
 		done:     make(chan struct{}),
 	}
 	s.notFull = sync.NewCond(&s.mu)
+	if cfg.Tune {
+		s.ctrl = tune.NewController(true)
+	}
 	go s.run()
 	return s
 }
@@ -405,6 +431,19 @@ func (s *Server) QueueDepth() int {
 // concurrent clients (the determinism oracle's epoch boundaries).
 func (s *Server) Table() *core.ShardedTable[core.SetOps] { return s.table }
 
+// TuneTrace returns the adaptive controller's decision trace, one
+// decision per line ("" when Config.Tune is off). Quiescent use only —
+// after Close, or between a Flush and any further Submit — because the
+// flusher goroutine appends to the trace during epochs. The trace is
+// deterministic for a fixed epoch script (the detres tuning oracle
+// byte-compares it across its schedule grid).
+func (s *Server) TuneTrace() string {
+	if s.ctrl == nil {
+		return ""
+	}
+	return s.ctrl.TraceString()
+}
+
 // --- flusher ---
 
 // run is the flusher goroutine: it waits for work (watermark kicks,
@@ -540,9 +579,21 @@ func (s *Server) flush(batch []pendingOp, split bool) {
 	}
 	executed := len(batch) - shed
 
-	insertFull := s.insertPhase(ins)
-	s.deletePhase(del)
-	s.readPhase(fnd, elm)
+	// Path selection happens at the epoch boundary, before any phase
+	// touches the table, from the admitted batch sizes alone — inputs
+	// fixed by admission, independent of how the phases then schedule.
+	path := tune.PathSharded
+	var tuneSwitches uint64
+	if s.ctrl != nil {
+		before := len(s.ctrl.Trace())
+		s.ctrl.Step()
+		path = s.ctrl.DecidePath(len(ins), len(del), len(fnd)+len(elm))
+		tuneSwitches = uint64(len(s.ctrl.Trace()) - before)
+	}
+
+	insertFull := s.insertPhase(ins, path)
+	s.deletePhase(del, path)
+	s.readPhase(fnd, elm, path)
 
 	s.mu.Lock()
 	s.stats.Epochs++
@@ -550,20 +601,28 @@ func (s *Server) flush(batch []pendingOp, split bool) {
 		s.stats.Splits++
 	}
 	s.stats.FlushedOps += uint64(executed)
+	s.stats.InsertOps += uint64(len(ins))
+	s.stats.DeleteOps += uint64(len(del))
+	s.stats.ReadOps += uint64(len(fnd) + len(elm))
 	s.stats.ShedDeadline += uint64(shed)
 	s.stats.InsertFull += uint64(insertFull)
+	s.stats.TuneSwitches += tuneSwitches
 	s.mu.Unlock()
 	if obs.Enabled {
 		obs.RecordEpochFlush(executed, split, insertFull)
 	}
 }
 
-// insertPhase runs the epoch's insert phase through TryInsertAll and
-// resolves the insert futures. Saturation degrades per-future: on
-// ErrFull a find pass attributes the failure, so futures whose element
-// landed (or merged with a duplicate) still succeed and only the
-// elements that never made it resolve with ErrFull.
-func (s *Server) insertPhase(ins []pendingOp) (insertFull int) {
+// insertPhase runs the epoch's insert phase along the selected path
+// and resolves the insert futures. All three paths apply the same key
+// multiset, so the quiescent layout is path-independent (history
+// independence); only the execution strategy differs. Saturation
+// degrades per-future on every path: the per-element paths see
+// TryInsert's error directly, the sharded path attributes ErrFull with
+// a find pass, so futures whose element landed (or merged with a
+// duplicate) still succeed and only the elements that never made it
+// resolve with ErrFull.
+func (s *Server) insertPhase(ins []pendingOp, path tune.Path) (insertFull int) {
 	if len(ins) == 0 {
 		return 0
 	}
@@ -574,6 +633,31 @@ func (s *Server) insertPhase(ins []pendingOp) (insertFull int) {
 	var span *obs.ActiveSpan
 	if obs.Enabled {
 		span = obs.PhaseStart("epoch:insert")
+	}
+	switch path {
+	case tune.PathSerial, tune.PathParallel:
+		errs := make([]error, len(keys))
+		if path == tune.PathSerial {
+			for i := range keys {
+				_, errs[i] = s.table.TryInsert(keys[i])
+			}
+		} else {
+			parallel.For(len(keys), func(i int) {
+				_, errs[i] = s.table.TryInsert(keys[i])
+			})
+		}
+		if obs.Enabled {
+			obs.PhaseEnd(span)
+		}
+		for i, p := range ins {
+			if errs[i] != nil {
+				insertFull++
+				s.deliver(p, Result{Err: fmt.Errorf("%w: element %#x did not land (epoch insert phase saturated)", core.ErrFull, p.key)})
+			} else {
+				s.deliver(p, Result{OK: true})
+			}
+		}
+		return insertFull
 	}
 	_, err := s.table.TryInsertAll(keys)
 	if obs.Enabled {
@@ -602,8 +686,9 @@ func (s *Server) insertPhase(ins []pendingOp) (insertFull int) {
 	return insertFull
 }
 
-// deletePhase runs the epoch's delete phase through DeleteAll.
-func (s *Server) deletePhase(del []pendingOp) {
+// deletePhase runs the epoch's delete phase along the selected path;
+// see insertPhase for the path-independence argument.
+func (s *Server) deletePhase(del []pendingOp, path tune.Path) {
 	if len(del) == 0 {
 		return
 	}
@@ -615,7 +700,16 @@ func (s *Server) deletePhase(del []pendingOp) {
 	if obs.Enabled {
 		span = obs.PhaseStart("epoch:delete")
 	}
-	s.table.DeleteAll(keys)
+	switch path {
+	case tune.PathSerial:
+		for _, k := range keys {
+			s.table.Delete(k)
+		}
+	case tune.PathParallel:
+		parallel.For(len(keys), func(i int) { s.table.Delete(keys[i]) })
+	default:
+		s.table.DeleteAll(keys)
+	}
 	if obs.Enabled {
 		obs.PhaseEnd(span)
 	}
@@ -624,10 +718,11 @@ func (s *Server) deletePhase(del []pendingOp) {
 	}
 }
 
-// readPhase runs the epoch's find/elements phase: one FindAll over the
-// find keys, then (at most) one Elements snapshot shared by every
-// OpElements future of the epoch.
-func (s *Server) readPhase(fnd, elm []pendingOp) {
+// readPhase runs the epoch's find/elements phase along the selected
+// path: the find keys through per-element Finds or one FindAll, then
+// (at most) one Elements snapshot shared by every OpElements future of
+// the epoch.
+func (s *Server) readPhase(fnd, elm []pendingOp, path tune.Path) {
 	if len(fnd) == 0 && len(elm) == 0 {
 		return
 	}
@@ -641,7 +736,16 @@ func (s *Server) readPhase(fnd, elm []pendingOp) {
 			keys[i] = p.key
 		}
 		dst := make([]uint64, len(keys))
-		s.table.FindAll(keys, dst)
+		switch path {
+		case tune.PathSerial:
+			for i, k := range keys {
+				dst[i], _ = s.table.Find(k)
+			}
+		case tune.PathParallel:
+			parallel.For(len(keys), func(i int) { dst[i], _ = s.table.Find(keys[i]) })
+		default:
+			s.table.FindAll(keys, dst)
+		}
 		for i, p := range fnd {
 			s.deliver(p, Result{Value: dst[i], OK: dst[i] != core.Empty})
 		}

@@ -1,0 +1,71 @@
+package epoch
+
+import (
+	"strings"
+	"testing"
+
+	"phasehash/internal/parallel"
+	"phasehash/internal/tune"
+)
+
+// pathLines filters a decision trace down to the flush-path decisions:
+// the grain knob is performance-only and window-dependent (it reads
+// the process-global counter core, which other activity in the test
+// binary advances), so path lines are what a scripted replay can pin.
+func pathLines(trace string) []string {
+	var out []string
+	for _, ln := range strings.Split(trace, "\n") {
+		if strings.Contains(ln, "path=") {
+			out = append(out, ln)
+		}
+	}
+	return out
+}
+
+// TestTunePathSelection drives a Tune-enabled manual-flush server
+// through three epochs whose batch sizes cross both path thresholds:
+// the selector must record serial, then parallel, then sharded, the
+// quiescent table must hold every inserted element whichever path
+// executed each epoch (history independence), and the path decisions
+// must replay identically from a bare controller fed the scripted
+// batch sizes — the unit-level version of the detres tuning oracle.
+func TestTunePathSelection(t *testing.T) {
+	const big = tune.ParallelBatchMax + 64
+	// The server's controller applies the process-global grain knob;
+	// restore the default so this test cannot leak tuning into others.
+	defer parallel.SetBlocksPerWorker(0)
+	s := manualServer(t, Config{Size: 1 << 16, MaxBatch: big + 16, QueueLimit: big + 16, Tune: true})
+
+	epochSizes := []int{tune.SerialBatchMax / 2, tune.ParallelBatchMax / 2, big}
+	key := uint64(0)
+	for _, n := range epochSizes {
+		for i := 0; i < n; i++ {
+			key++
+			mustSubmit(t, s, OpInsert, key)
+		}
+		s.Flush()
+	}
+
+	if got, want := s.Table().Count(), int(key); got != want {
+		t.Fatalf("count after tuned epochs = %d, want %d", got, want)
+	}
+	trace := s.TuneTrace()
+	for _, tok := range []string{"path=serial", "path=parallel", "path=sharded"} {
+		if !strings.Contains(trace, tok) {
+			t.Fatalf("trace missing %q:\n%s", tok, trace)
+		}
+	}
+	if st := s.Stats(); st.TuneSwitches == 0 {
+		t.Fatalf("TuneSwitches = 0 with a non-empty trace:\n%s", trace)
+	}
+
+	ctrl := tune.NewController(false)
+	for _, n := range epochSizes {
+		ctrl.Step()
+		ctrl.DecidePath(n, 0, 0)
+	}
+	got, want := pathLines(trace), pathLines(ctrl.TraceString())
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("server path decisions diverge from scripted replay:\n server: %q\n replay: %q", got, want)
+	}
+}

@@ -130,6 +130,9 @@ func (p *pool) dispatch(j *job, helpers int) {
 	if obs.Enabled {
 		obs.RecordDispatch(j.nblocks)
 	}
+	if obs.CoreEnabled {
+		obs.CoreDispatch(j.nblocks, j.n)
+	}
 	p.ensure(helpers)
 	for i := 0; i < helpers; i++ {
 		select {

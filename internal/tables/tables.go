@@ -121,27 +121,34 @@ const (
 	// 8, in exchange for finds that rarely touch the cell array, which
 	// keeps throughput at load factors up to 0.9.
 	LinearDCompact Kind = "linearHash-D-compact"
-	LinearND       Kind = "linearHash-ND"
-	Cuckoo         Kind = "cuckooHash"
-	Chained        Kind = "chainedHash"
-	ChainedCR      Kind = "chainedHash-CR"
-	Hopscotch      Kind = "hopscotchHash"
-	HopscotchPC    Kind = "hopscotchHash-PC"
-	SerialHI       Kind = "serialHash-HI"
-	SerialHD       Kind = "serialHash-HD"
+	// LinearDAuto is the self-tuning deterministic table (AutoTable):
+	// it starts flat and switches between the LinearD and
+	// LinearDCompact layouts at bulk-call boundaries from its observed
+	// load factor and op mix (internal/tune). Bulk calls require
+	// exclusive access (they may migrate); layout decisions replay
+	// deterministically for a fixed operation script.
+	LinearDAuto Kind = "linearHash-D-auto"
+	LinearND    Kind = "linearHash-ND"
+	Cuckoo      Kind = "cuckooHash"
+	Chained     Kind = "chainedHash"
+	ChainedCR   Kind = "chainedHash-CR"
+	Hopscotch   Kind = "hopscotchHash"
+	HopscotchPC Kind = "hopscotchHash-PC"
+	SerialHI    Kind = "serialHash-HI"
+	SerialHD    Kind = "serialHash-HD"
 )
 
 // Kinds lists all table kinds in the paper's presentation order.
 var Kinds = []Kind{
 	SerialHI, SerialHD,
-	LinearD, LinearDSharded, LinearDCompact, LinearND, Cuckoo,
+	LinearD, LinearDSharded, LinearDCompact, LinearDAuto, LinearND, Cuckoo,
 	Chained, ChainedCR,
 	Hopscotch, HopscotchPC,
 }
 
 // ParallelKinds lists the concurrent/phase-concurrent kinds.
 var ParallelKinds = []Kind{
-	LinearD, LinearDSharded, LinearDCompact, LinearND, Cuckoo,
+	LinearD, LinearDSharded, LinearDCompact, LinearDAuto, LinearND, Cuckoo,
 	Chained, ChainedCR,
 	Hopscotch, HopscotchPC,
 }
@@ -156,6 +163,8 @@ func New[O core.Ops](kind Kind, size int) (Table, error) {
 		return core.NewShardedTable[O](size, 0), nil
 	case LinearDCompact:
 		return core.NewCompactTable[O](size), nil
+	case LinearDAuto:
+		return NewAutoTable[O](size), nil
 	case LinearND:
 		return NewLinearND[O](size), nil
 	case Cuckoo:
@@ -204,7 +213,12 @@ func (k Kind) IsSerial() bool { return k == SerialHI || k == SerialHD }
 // IsDeterministic reports whether the table's quiescent layout is
 // independent of operation order. For LinearDSharded this holds per
 // shard count: tables constructed with different shard counts store
-// the same set in different (each deterministic) orders.
+// the same set in different (each deterministic) orders. For
+// LinearDAuto it holds per operation script: the representation
+// decisions are pure functions of the cumulative op multiset, and both
+// representations lay out any element set identically at equal
+// capacity.
 func (k Kind) IsDeterministic() bool {
-	return k == LinearD || k == LinearDSharded || k == LinearDCompact || k == SerialHI
+	return k == LinearD || k == LinearDSharded || k == LinearDCompact ||
+		k == LinearDAuto || k == SerialHI
 }

@@ -1,0 +1,144 @@
+package tune
+
+import (
+	"fmt"
+	"strings"
+
+	"phasehash/internal/obs"
+	"phasehash/internal/parallel"
+)
+
+// Decision is one recorded tuning step: which knob moved (or was
+// confirmed), to what value, from which inputs. The Basis string is
+// built only from schedule-independent integers, so the concatenated
+// trace of a run is itself deterministic — the detres tuning oracle
+// byte-compares traces across its schedule grid.
+type Decision struct {
+	Step  int    // controller step (epoch / phase boundary index)
+	Knob  string // "path", "kind", "grain", "shards"
+	Value string // the chosen value's stable token
+	Basis string // the integer inputs the policy saw
+}
+
+// String formats the decision as one stable trace line.
+func (d Decision) String() string {
+	return fmt.Sprintf("%d %s=%s (%s)", d.Step, d.Knob, d.Value, d.Basis)
+}
+
+// Controller applies the tune policies at phase/epoch boundaries and
+// accumulates the decision trace. It is NOT safe for concurrent use:
+// the phase discipline already guarantees boundaries are crossed by one
+// goroutine (the epoch server's flush loop, a benchmark driver's cell
+// loop), and the controller piggybacks on that.
+//
+// The zero value is not usable; construct with NewController.
+type Controller struct {
+	step       int
+	prev       obs.CoreStats
+	trace      []Decision
+	applyGrain bool
+
+	path  Path
+	kind  TableKind
+	grain int
+}
+
+// NewController returns a controller with the static defaults
+// (PathSharded, KindFlat, the default oversplit factor). applyGrain
+// controls whether grain decisions are pushed into
+// parallel.SetBlocksPerWorker — the knob is process-global, so only
+// one controller per process should apply it (the epoch server's, or a
+// benchmark driver's); the rest observe without applying.
+func NewController(applyGrain bool) *Controller {
+	return &Controller{
+		applyGrain: applyGrain,
+		path:       PathSharded,
+		kind:       KindFlat,
+		grain:      DefaultBlocksPerWorker,
+		prev:       obs.CoreSnapshot(),
+	}
+}
+
+// Step advances the controller one phase/epoch boundary: it snapshots
+// the counter core, computes the window since the previous step, and
+// re-evaluates the performance-only knobs (currently the loop grain).
+// It returns the window so callers can report it. State-affecting
+// decisions (path, kind) are made by their own methods because their
+// inputs come from the caller (batch sizes, load factors), not the
+// global core.
+func (c *Controller) Step() obs.CoreStats {
+	c.step++
+	cur := obs.CoreSnapshot()
+	window := cur.Sub(c.prev)
+	c.prev = cur
+
+	g := BlocksPerWorker(window)
+	if g != c.grain {
+		c.grain = g
+		if c.applyGrain {
+			parallel.SetBlocksPerWorker(g)
+		}
+		c.record("grain", fmt.Sprintf("%d", g),
+			fmt.Sprintf("dispatches=%d blocks=%d items=%d", window.ParDispatches, window.ParBlocks, window.ParItems))
+	}
+	return window
+}
+
+// DecidePath selects (and records, when it changes) the flush path for
+// an epoch with the given phase batch sizes.
+func (c *Controller) DecidePath(inserts, deletes, reads int) Path {
+	p := FlushPath(inserts, deletes, reads)
+	if p != c.path {
+		c.path = p
+		c.record("path", p.String(),
+			fmt.Sprintf("inserts=%d deletes=%d reads=%d", inserts, deletes, reads))
+	}
+	return p
+}
+
+// DecideKind selects (and records, when it changes) the table
+// representation for the given load factor and find share (per-mille).
+func (c *Controller) DecideKind(loadPm, findSharePm uint64) TableKind {
+	k := TableKindFor(loadPm, findSharePm)
+	if k != c.kind {
+		c.kind = k
+		c.record("kind", k.String(),
+			fmt.Sprintf("loadPm=%d findSharePm=%d", loadPm, findSharePm))
+	}
+	return k
+}
+
+// Path returns the current flush path without re-deciding.
+func (c *Controller) Path() Path { return c.path }
+
+// Kind returns the current table kind without re-deciding.
+func (c *Controller) Kind() TableKind { return c.kind }
+
+// Grain returns the current oversplit factor without re-deciding.
+func (c *Controller) Grain() int { return c.grain }
+
+func (c *Controller) record(knob, value, basis string) {
+	c.trace = append(c.trace, Decision{Step: c.step, Knob: knob, Value: value, Basis: basis})
+}
+
+// Trace returns the recorded decisions in order (the backing slice;
+// callers must not mutate it).
+func (c *Controller) Trace() []Decision { return c.trace }
+
+// TraceString renders the whole trace one decision per line — the byte
+// string the detres tuning oracle compares across schedules. Grain
+// decisions are excluded: the grain knob is performance-only and its
+// inputs may legitimately vary with the worker count (see the package
+// comment's determinism classes), so it is not part of the
+// cross-schedule contract.
+func (c *Controller) TraceString() string {
+	var b strings.Builder
+	for _, d := range c.trace {
+		if d.Knob == "grain" {
+			continue
+		}
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
